@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure at a reduced scale
+(``BENCH_SCALE`` of the paper's 10 GB working set, overridable via the
+``REPRO_BENCH_SCALE`` environment variable) and prints the same
+rows/series the paper reports, so the bench output doubles as the
+reproduction record.  pytest-benchmark measures a single round: the
+quantity of interest is the experiment's *result*, the wall time is
+informational.
+"""
+
+import os
+
+import pytest
+
+#: Fraction of the paper's working set each bench simulates.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", 1 / 320))
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(result)
+    return result

@@ -1,0 +1,13 @@
+"""Bench: design-choice ablations (DESIGN.md §5)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_ablations(benchmark, bench_scale):
+    res = run_once(benchmark, get("ablation"), scale=bench_scale, nprocs=32)
+    assert (res.get("iBridge (default)", "throughput")
+            > res.get("stock", "throughput"))
+    assert (res.get("stock, per-stream merge only", "throughput")
+            < res.get("stock", "throughput"))

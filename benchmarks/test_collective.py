@@ -1,0 +1,16 @@
+"""Bench: extension experiment — collective I/O vs iBridge."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_collective_vs_ibridge(benchmark, bench_scale):
+    res = run_once(benchmark, get("collective"), scale=bench_scale,
+                   nprocs=32)
+    stock = res.get("stock, independent", "throughput")
+    # Both remedies beat the stock independent-I/O baseline.
+    assert res.get("iBridge, independent", "throughput") > stock
+    assert res.get("stock, collective", "throughput") > stock
+    # With collective buffering there are no fragments left for iBridge.
+    assert res.get("iBridge, collective", "ssd_pct") < 2.0

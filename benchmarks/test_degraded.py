@@ -1,0 +1,13 @@
+"""Bench: degraded-disk extension (Eq. 3 sibling term at work)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_degraded_disk_eq3(benchmark, bench_scale):
+    res = run_once(benchmark, get("degraded"), scale=bench_scale, nprocs=32)
+    assert (res.get("iBridge literal, Eq.3 on", "slow_redirects")
+            > res.get("iBridge literal, Eq.3 off", "slow_redirects"))
+    assert (res.get("iBridge efficiency-policy", "throughput")
+            > res.get("stock", "throughput"))

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig 10 (disk-only / SSD-only / iBridge)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig10_storage_configurations(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig10"), scale=bench_scale,
+                   procs=(16, 64), steps=4)
+    for np_ in (16, 64):
+        assert res.get(np_, "ssd") < res.get(np_, "disk")
+        assert res.get(np_, "ibridge") <= res.get(np_, "ssd") * 1.02
+        assert res.get(np_, "ib_setup") < res.get(np_, "ssd_setup")

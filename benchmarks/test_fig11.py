@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig 11 (BTIO I/O time vs SSD capacity)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig11_capacity_sweep(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig11"), scale=bench_scale, nprocs=16,
+                   steps=4, fractions=(1.2, 0.6, 0.3, 0.0))
+    times = [res.get(f"{f:.2f}", "io_time") for f in (1.2, 0.6, 0.3, 0.0)]
+    # I/O time grows monotonically as the SSD shrinks, sharply at zero.
+    assert times == sorted(times)
+    assert times[-1] > 3 * times[0]

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig 12 (heterogeneous mix, partitioning policies)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig12_heterogeneous_partitioning(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig12"), scale=bench_scale, nprocs=16,
+                   steps=4)
+    stock = res.get("stock", "aggregate")
+    dynamic = res.get("dynamic", "aggregate")
+    assert dynamic > stock
+    # Dynamic partitioning is competitive with the better static split.
+    best_static = max(res.get("static 1:1", "aggregate"),
+                      res.get("static 1:2", "aggregate"))
+    assert dynamic >= 0.9 * best_static

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig 13 (request-size threshold sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig13_threshold_sweep(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig13"), scale=bench_scale, nprocs=32,
+                   thresholds_kib=(10, 20, 30, 40))
+    tps = [res.get(f"{t}KiB", "throughput") for t in (10, 20, 30, 40)]
+    usage = [res.get(f"{t}KiB", "ssd_pct") for t in (10, 20, 30, 40)]
+    assert tps == sorted(tps)
+    assert usage == sorted(usage)
+    # Paper: SSD usage grows from ~3% to ~42% across the sweep.
+    assert usage[0] < 5
+    assert usage[-1] > 25

@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig 2 (unaligned-access effects on the stock system)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig2a_pattern2(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig2a"), scale=bench_scale,
+                   sizes_kib=(64, 65, 74, 94), procs=(16, 64))
+    # Unaligned sizes lose to the aligned reference at both proc counts.
+    for np_ in (16, 64):
+        assert res.get(np_, "s65") < 0.75 * res.get(np_, "s64")
+        assert res.get(np_, "s94") < res.get(np_, "s64")
+
+
+def test_fig2b_pattern3(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig2b"), scale=bench_scale,
+                   offsets_kib=(0, 1, 10), procs=(16, 64))
+    for np_ in (16, 64):
+        assert res.get(np_, "off10") < 0.8 * res.get(np_, "off0")
+
+
+def test_fig2cde_dispatch_sizes(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig2cde"), scale=bench_scale, nprocs=32)
+    # Aligned access dispatches mostly >=64KiB; unaligned collapses.
+    assert res.get("c: 64KiB aligned", "frac_big") > 0.5
+    assert (res.get("d: 65KiB", "mean_sectors")
+            < res.get("c: 64KiB aligned", "mean_sectors"))

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig 3 (striping magnification effect)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig3_striping_magnification(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig3"), scale=bench_scale,
+                   ks=(1, 3, 5, 7), nprocs=16)
+    # Fragments cost throughput at every server count.
+    for k in (1, 3, 5, 7):
+        assert res.get(k, "loss_nobarrier") > 0

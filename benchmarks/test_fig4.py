@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig 4 (mpi-io-test, stock vs iBridge)."""
+
+from conftest import run_once
+
+from repro.devices import Op
+from repro.experiments import get
+
+
+def test_fig4_writes(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig4"), scale=bench_scale, nprocs=32,
+                   op=Op.WRITE)
+    assert res.get("33KiB/write", "gain") > 60
+    assert res.get("+10KiB/write", "gain") > 60
+    assert abs(res.get("+0KiB/write", "gain")) < 3
+
+
+def test_fig4_reads(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig4"), scale=bench_scale, nprocs=32,
+                   op=Op.READ)
+    assert res.get("33KiB/read", "gain") > 10
+    assert res.get("65KiB/read", "gain") > 10
+    assert res.get("+10KiB/read", "gain") > 40
+    assert abs(res.get("+0KiB/read", "gain")) < 3

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig 5 (dispatch sizes with iBridge)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig5_large_dispatches_restored(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig5"), scale=bench_scale, nprocs=32)
+    assert res.get("fraction >= 128 sectors", "frac_big") > 0.4
+    assert res.get("mean sectors", "mean_sectors") > 100

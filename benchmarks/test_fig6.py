@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig 6 (scalability with process count)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig6_process_scaling(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig6"), scale=bench_scale,
+                   procs=(16, 64, 128))
+    for np_ in (64, 128):
+        assert res.get(f"{np_}/read", "gain") > 15
+        assert res.get(f"{np_}/write", "gain") > 15
+    assert res.get("mean", "mean_gain") > 15

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig 7 (scalability with data-server count)."""
+
+from conftest import run_once
+
+from repro.devices import Op
+from repro.experiments import get
+
+
+def test_fig7_server_scaling(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig7"), scale=bench_scale, nprocs=32,
+                   servers=(2, 4, 8), op=Op.WRITE)
+    # All three series rise with server count.
+    for key in ("aligned", "stock", "ibridge"):
+        assert res.get("8/write", key) > res.get("2/write", key)
+    # iBridge beats the stock system at every server count.
+    for ns in (2, 4, 8):
+        assert res.get(f"{ns}/write", "ibridge") > res.get(f"{ns}/write", "stock")

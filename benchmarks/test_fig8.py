@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig 8 (ior-mpi-io, stock vs iBridge)."""
+
+from conftest import run_once
+
+from repro.devices import Op
+from repro.experiments import get
+
+
+def test_fig8_ior_writes(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig8"), scale=bench_scale, nprocs=32,
+                   sizes_kib=(33, 64, 65, 129), op=Op.WRITE)
+    assert res.get("33KiB/write", "gain") > 50
+    assert res.get("65KiB/write", "gain") > 15
+    assert abs(res.get("64KiB/write", "gain")) < 5
+
+
+def test_fig8_ior_reads(benchmark, bench_scale):
+    res = run_once(benchmark, get("fig8"), scale=bench_scale, nprocs=32,
+                   sizes_kib=(33, 65), op=Op.READ)
+    assert res.get("33KiB/read", "gain") > 20
+    assert res.get("65KiB/read", "gain") > 10

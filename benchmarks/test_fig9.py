@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig 9 (BTIO execution times)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_fig9_btio_execution_times(benchmark, bench_scale):
+    # 64/100-proc BTIO points are left to the CLI (`ibridge-experiment
+    # fig9`): millions of tiny-request events make them minutes-long.
+    res = run_once(benchmark, get("fig9"), scale=bench_scale,
+                   procs=(9, 16), steps=3)
+    # Paper: 45-61% execution-time reductions.
+    for np_ in (9, 16):
+        assert res.get(np_, "reduction") > 30

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (trace classification)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_table1(benchmark, bench_scale):
+    res = run_once(benchmark, get("table1"), scale=bench_scale)
+    # The synthesized mix reproduces the paper's totals within noise.
+    assert abs(res.get("S3D", "unaligned") - 62.8) < 4.0
+    assert abs(res.get("CTH", "random") - 30.1) < 3.0

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table II (device corner bandwidths)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_table2(benchmark, bench_scale):
+    res = run_once(benchmark, get("table2"), scale=bench_scale)
+    assert abs(res.get("ssd/sequential_read", "mib_s") - 160) < 5
+    assert abs(res.get("ssd/random_write", "mib_s") - 30) < 2
+    assert abs(res.get("hdd/sequential_write", "mib_s") - 80) < 3

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table III (trace-replay service times)."""
+
+from conftest import run_once
+
+from repro.experiments import get
+
+
+def test_table3_trace_replay(benchmark, bench_scale):
+    res = run_once(benchmark, get("table3"), scale=bench_scale, requests=400)
+    for app in ("ALEGRA-2744", "ALEGRA-5832", "CTH", "S3D"):
+        assert res.get(app, "reduction") > 0
+    # S3D's much larger requests give it the largest service times.
+    assert res.get("S3D", "stock_ms") > res.get("CTH", "stock_ms")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Small scattered writes (BTIO-style checkpointing) on three systems.
+
+The paper's intro motivates iBridge with checkpoint/restart-style
+workloads.  This example runs a scaled BTIO (compute phases alternating
+with bursts of sub-KB..few-KB writes) on:
+
+* the stock disk-backed system,
+* an all-SSD system (files stored directly on the SSDs), and
+* the disk system with iBridge.
+
+It shows the paper's Fig. 9/10 story: iBridge removes almost all I/O
+time, and matches/beats even the all-SSD system because its
+log-structured writes avoid the SSD's random-write penalty.
+
+Run:  python examples/checkpoint_small_writes.py
+"""
+
+from repro import BTIO, Cluster, ClusterConfig, run_workload
+from repro.analysis import format_table
+from repro.units import MiB
+
+
+def run_system(label, config, workload_args):
+    cluster = Cluster(config)
+    workload = BTIO(**workload_args)
+    result = run_workload(cluster, workload)
+    compute = workload.steps * workload.compute_per_step
+    io_time = max(0.0, result.makespan - compute)
+    ssd_pos = sum(s.ssd.stats.positioning_time for s in cluster.servers)
+    ssd_ops = sum(s.ssd.stats.total_requests for s in cluster.servers)
+    return {
+        "label": label,
+        "exec": result.makespan,
+        "io": io_time,
+        "ssd_setup_ms": ssd_pos / ssd_ops * 1000 if ssd_ops else 0.0,
+    }
+
+
+def main():
+    nprocs = 16
+    workload_args = dict(nprocs=nprocs, steps=4, scale=1 / 320,
+                         compute_per_step=1.0)
+    systems = [
+        ("disk-only (stock)", ClusterConfig(num_servers=8)),
+        ("ssd-only", ClusterConfig(num_servers=8, primary_store="ssd")),
+        ("disk + iBridge", ClusterConfig(num_servers=8).with_ibridge(
+            ssd_partition=64 * MiB)),
+    ]
+    rows = []
+    for label, config in systems:
+        out = run_system(label, config, workload_args)
+        rows.append([out["label"], f"{out['exec']:.2f}", f"{out['io']:.2f}",
+                     f"{out['ssd_setup_ms']:.3f}"])
+    print(format_table(
+        ["system", "execution (s)", "I/O time (s)", "SSD setup ms/op"],
+        rows,
+        title=f"BTIO-style checkpointing, {nprocs} ranks "
+              f"(compute 4x1.0s, tiny scattered writes)"))
+    print()
+    print("Tiny scattered writes devastate the disks (read-modify-write +")
+    print("positioning per request).  The all-SSD system pays the SSD's")
+    print("per-command setup on every random write; iBridge's log turns")
+    print("them into sequential appends (zero setup) and writes the data")
+    print("back to the disks later as one sorted sweep.")
+
+
+if __name__ == "__main__":
+    main()

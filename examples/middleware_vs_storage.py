@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Middleware fix vs storage fix for unaligned access.
+
+Two remedies exist for the fragment problem the paper attacks:
+
+* **collective I/O** (ROMIO two-phase): ranks exchange data so that a
+  few aggregators issue large stripe-aligned requests — the fragments
+  never reach the servers;
+* **iBridge**: the servers absorb the fragments on SSDs.
+
+This example runs the unaligned 65 KiB mpi-io-test under both (and
+their combination) and prints the comparison.  It shows why the paper
+targets independent-I/O workloads: when collective buffering applies,
+it solves alignment outright — but it requires every rank to
+participate in every call, which checkpoint libraries and legacy codes
+often cannot guarantee.
+
+Run:  python examples/middleware_vs_storage.py
+"""
+
+from repro import Cluster, ClusterConfig, MpiIoTest, Op, run_workload
+from repro.analysis import format_table
+from repro.units import KiB, MiB
+
+
+def measure(config, collective):
+    cluster = Cluster(config)
+    workload = MpiIoTest(nprocs=32, request_size=65 * KiB,
+                         file_size=64 * MiB, op=Op.WRITE,
+                         collective=collective)
+    result = run_workload(cluster, workload)
+    return result.throughput_mib_s, result.ssd_fraction
+
+
+def main():
+    stock = ClusterConfig(num_servers=8)
+    bridge = stock.with_ibridge(ssd_partition=64 * MiB)
+    rows = []
+    for label, cfg, coll in [
+        ("independent I/O (the problem)", stock, False),
+        ("+ collective I/O", stock, True),
+        ("+ iBridge", bridge, False),
+        ("+ both", bridge, True),
+    ]:
+        tp, ssd = measure(cfg, coll)
+        rows.append([label, f"{tp:.1f}", f"{ssd * 100:.1f}%"])
+    print(format_table(
+        ["system", "MiB/s", "SSD share"],
+        rows,
+        title="Unaligned 65KiB writes, 32 ranks: middleware vs storage fix"))
+    print()
+    print("Collective buffering re-aligns requests before they reach the")
+    print("servers; iBridge absorbs the fragments at the servers. They")
+    print("overlap almost completely — iBridge matters exactly where")
+    print("collective I/O is not in use (independent I/O, uncoordinated")
+    print("writers, small random requests).")
+
+
+if __name__ == "__main__":
+    main()

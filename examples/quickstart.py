@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the unaligned-access penalty and iBridge's fix.
+
+Builds the paper's eight-server PVFS2-like cluster, runs mpi-io-test
+with aligned (64 KiB) and unaligned (65 KiB) requests on the stock
+system and with iBridge, and prints a small comparison table.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ClusterConfig, MpiIoTest, Op, run_workload
+from repro.analysis import format_table
+from repro.units import KiB, MiB
+
+
+def throughput(config, request_size, op=Op.WRITE, nprocs=32,
+               file_size=64 * MiB):
+    """One mpi-io-test run on a fresh cluster; returns MiB/s."""
+    cluster = Cluster(config)
+    workload = MpiIoTest(nprocs=nprocs, request_size=request_size,
+                         file_size=file_size, op=op)
+    result = run_workload(cluster, workload)
+    return result.throughput_mib_s, result.ssd_fraction
+
+
+def main():
+    stock = ClusterConfig(num_servers=8)
+    # The SSD partition is scaled to the (small) working set here; the
+    # paper pairs a 10 GB partition with a 10 GB file.
+    ibridge = stock.with_ibridge(ssd_partition=64 * MiB)
+
+    rows = []
+    for label, size in [("aligned 64KiB", 64 * KiB),
+                        ("unaligned 65KiB", 65 * KiB)]:
+        tp_stock, _ = throughput(stock, size)
+        tp_ib, ssd_frac = throughput(ibridge, size)
+        gain = (tp_ib - tp_stock) / tp_stock * 100
+        rows.append([label, f"{tp_stock:.1f}", f"{tp_ib:.1f}",
+                     f"{gain:+.1f}%", f"{ssd_frac * 100:.1f}%"])
+
+    print(format_table(
+        ["request pattern", "stock MiB/s", "iBridge MiB/s", "gain",
+         "data served by SSD"],
+        rows,
+        title="mpi-io-test writes, 32 processes, 8 data servers"))
+    print()
+    print("The 65KiB pattern leaves a small fragment on one server per")
+    print("request; serving those fragments from the SSD log restores")
+    print("most of the aligned throughput (paper Fig. 4).")
+
+
+if __name__ == "__main__":
+    main()

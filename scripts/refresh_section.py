@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Refresh a single experiment's section in EXPERIMENTS.md in place.
+
+Usage:  python scripts/refresh_section.py <name> [scale]
+
+Reruns the named experiment (with the same trimmed kwargs the full
+generator uses) and replaces only its fenced code block, leaving the
+commentary untouched.
+"""
+
+import re
+import sys
+
+# generate_experiments_md reads sys.argv at import time; hide our args.
+_argv, sys.argv = sys.argv[1:], sys.argv[:1]
+sys.path.insert(0, "scripts")
+from generate_experiments_md import PLAN, SCALE as DEFAULT_SCALE  # noqa: E402
+
+from repro.experiments import get  # noqa: E402
+
+
+def main() -> int:
+    name = _argv[0]
+    scale = float(_argv[1]) if len(_argv) > 1 else DEFAULT_SCALE
+    kwargs = {}
+    for plan_name, plan_kwargs, _commentary in PLAN:
+        if plan_name == name:
+            kwargs = plan_kwargs
+            break
+    result = get(name)(scale=scale, **kwargs)
+
+    text = open("EXPERIMENTS.md").read()
+    pattern = re.compile(rf"(## {re.escape(name)}\n\n```\n).*?(\n```)",
+                         re.DOTALL)
+    if not pattern.search(text):
+        raise SystemExit(f"section {name!r} not found in EXPERIMENTS.md")
+    text = pattern.sub(lambda m: m.group(1) + str(result) + m.group(2),
+                       text, count=1)
+    open("EXPERIMENTS.md", "w").write(text)
+    print(f"refreshed section {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

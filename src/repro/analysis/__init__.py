@@ -1,0 +1,17 @@
+"""Metrics, reporting and export helpers."""
+
+from .export import result_to_csv, result_to_json, save_result
+from .metrics import LatencyStats, RunResult, improvement, reduction
+from .report import format_histogram, format_table
+
+__all__ = [
+    "RunResult",
+    "LatencyStats",
+    "improvement",
+    "reduction",
+    "format_table",
+    "format_histogram",
+    "result_to_csv",
+    "result_to_json",
+    "save_result",
+]

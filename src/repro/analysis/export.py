@@ -1,0 +1,54 @@
+"""Export experiment results to machine-readable formats (CSV/JSON).
+
+The experiment modules print human-readable tables; downstream plotting
+or regression tooling wants the raw rows.  These helpers serialize an
+:class:`~repro.experiments.common.ExperimentResult` without the
+experiments package importing anything heavy.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def result_to_csv(result) -> str:
+    """The result's table as CSV text (headers + rows)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(result.headers))
+    for row in result.rows:
+        writer.writerow(list(row))
+    return buf.getvalue()
+
+
+def result_to_json(result) -> str:
+    """The result as JSON: metadata, table, and keyed values."""
+    payload = {
+        "name": result.name,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+        # Tuple keys are not JSON-representable; flatten to "row/col".
+        "values": {f"{rk}/{ck}": v for (rk, ck), v in result.values.items()},
+    }
+    return json.dumps(payload, indent=2, default=str)
+
+
+def save_result(result, path: PathLike) -> None:
+    """Write the result to ``path``; format chosen by suffix
+    (``.csv`` or ``.json``)."""
+    p = Path(path)
+    if p.suffix == ".csv":
+        p.write_text(result_to_csv(result))
+    elif p.suffix == ".json":
+        p.write_text(result_to_json(result))
+    else:
+        raise ValueError(f"unsupported export suffix {p.suffix!r} "
+                         f"(use .csv or .json)")

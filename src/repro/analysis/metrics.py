@@ -1,0 +1,89 @@
+"""Run-level metrics: throughput, latency statistics, service times."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..devices.base import Op
+from ..pfs.messages import ParentRequest
+from ..units import MiB
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a set of request latencies (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_latencies(cls, latencies: Sequence[float]) -> "LatencyStats":
+        if not latencies:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(latencies, dtype=np.float64)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one simulated run."""
+
+    name: str
+    makespan: float                      # seconds of simulated I/O time
+    total_bytes: int
+    requests: List[ParentRequest] = field(default_factory=list)
+    #: Fraction of payload served from SSDs (0 without iBridge).
+    ssd_fraction: float = 0.0
+    #: Optional extra key figures an experiment wants to carry along.
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_mib_s(self) -> float:
+        """Aggregate application throughput in MiB/s."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_bytes / MiB / self.makespan
+
+    def latencies(self, op: Optional[Op] = None) -> List[float]:
+        return [r.latency for r in self.requests
+                if r.latency is not None and (op is None or r.op is op)]
+
+    def latency_stats(self, op: Optional[Op] = None) -> LatencyStats:
+        return LatencyStats.from_latencies(self.latencies(op))
+
+    @property
+    def mean_service_time(self) -> float:
+        """Mean request completion latency (Table III's metric)."""
+        lats = self.latencies()
+        return float(np.mean(lats)) if lats else 0.0
+
+
+def improvement(baseline: float, improved: float) -> float:
+    """Percentage improvement of ``improved`` over ``baseline``.
+
+    Positive when ``improved`` is larger (e.g. throughput gains).
+    """
+    if baseline <= 0:
+        return 0.0
+    return (improved - baseline) / baseline * 100.0
+
+
+def reduction(baseline: float, reduced: float) -> float:
+    """Percentage reduction of ``reduced`` vs ``baseline`` (times, costs)."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - reduced) / baseline * 100.0

@@ -1,0 +1,48 @@
+"""Plain-text table formatting for experiment outputs.
+
+Experiments print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    srows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_histogram(dist: dict, unit: str = "sectors", top: int = 10) -> str:
+    """Render a size→fraction distribution, largest fractions first."""
+    rows = sorted(dist.items(), key=lambda kv: -kv[1])[:top]
+    return format_table(
+        [f"size ({unit})", "fraction"],
+        [(size, f"{frac * 100:.1f}%") for size, frac in rows],
+    )

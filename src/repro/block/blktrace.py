@@ -1,0 +1,90 @@
+"""Block-level dispatch tracing, modelled after ``blktrace``.
+
+The paper uses blktrace to show the *dispatched* request-size
+distributions (Figs. 2(c)–(e) and Fig. 5), in units of 512-byte
+sectors.  :class:`BlockTracer` records every dispatch the device runner
+issues; :meth:`size_histogram` reproduces the figures' data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..devices.base import Op
+from ..units import to_sectors
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dispatched I/O as blktrace would log it."""
+
+    time: float
+    op: Op
+    lbn: int
+    nbytes: int
+    merged: int  # number of original requests merged into this dispatch
+
+    @property
+    def sectors(self) -> int:
+        return to_sectors(self.nbytes)
+
+
+class BlockTracer:
+    """Records dispatches; answers distribution queries."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, op: Op, lbn: int, nbytes: int,
+               merged: int) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, op, lbn, nbytes, merged))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def size_histogram(self, op: Optional[Op] = None) -> Dict[int, int]:
+        """{size_in_sectors: dispatch count}, optionally filtered by op."""
+        counter: Counter[int] = Counter()
+        for rec in self.records:
+            if op is None or rec.op is op:
+                counter[rec.sectors] += 1
+        return dict(sorted(counter.items()))
+
+    def size_distribution(self, op: Optional[Op] = None) -> Dict[int, float]:
+        """{size_in_sectors: fraction of dispatches}."""
+        hist = self.size_histogram(op)
+        total = sum(hist.values())
+        if total == 0:
+            return {}
+        return {size: count / total for size, count in hist.items()}
+
+    def top_sizes(self, n: int = 5, op: Optional[Op] = None) -> List[Tuple[int, float]]:
+        """The ``n`` most frequent dispatch sizes, as (sectors, fraction)."""
+        dist = self.size_distribution(op)
+        return sorted(dist.items(), key=lambda kv: -kv[1])[:n]
+
+    def fraction_at_least(self, sectors: int, op: Optional[Op] = None) -> float:
+        """Fraction of dispatches of at least ``sectors`` sectors."""
+        dist = self.size_distribution(op)
+        return sum(frac for size, frac in dist.items() if size >= sectors)
+
+    def mean_size_sectors(self, op: Optional[Op] = None) -> float:
+        """Mean dispatch size in sectors."""
+        hist = self.size_histogram(op)
+        total = sum(hist.values())
+        if total == 0:
+            return 0.0
+        return sum(size * count for size, count in hist.items()) / total
+
+    def merged_fraction(self) -> float:
+        """Fraction of dispatches containing more than one request."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.merged > 1) / len(self.records)

@@ -1,0 +1,143 @@
+"""The device queue runner: glue between a scheduler and a device model.
+
+One :class:`BlockQueue` per physical device.  Submitted requests enter
+the scheduler; a single runner process repeatedly asks the scheduler
+for the next dispatch, charges the device model for it, records it in
+the tracer, and completes the member requests.  The runner honours CFQ
+idle hints (wait briefly for an anticipated request) and exposes idle
+state so iBridge's writeback daemon can run "during quiet I/O-device
+periods" as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..config import SchedulerConfig
+from ..devices.base import Device, Op
+from ..errors import StorageError
+from ..sim import Environment, Event
+from .blktrace import BlockTracer
+from .cfq import CFQScheduler
+from .request import BlockRequest, Dispatch
+from .scheduler import DeadlineScheduler, NoopScheduler, Scheduler
+
+
+def make_scheduler(config: SchedulerConfig) -> Scheduler:
+    """Instantiate the scheduler named by ``config.kind``."""
+    if config.kind == "cfq":
+        return CFQScheduler(config)
+    if config.kind == "noop":
+        return NoopScheduler(config)
+    if config.kind == "deadline":
+        return DeadlineScheduler(config)
+    raise StorageError(f"unknown scheduler kind {config.kind!r}")
+
+
+class BlockQueue:
+    """Queue + runner for one device."""
+
+    def __init__(self, env: Environment, device: Device,
+                 scheduler: Scheduler, tracer: Optional[BlockTracer] = None,
+                 name: str = "blkq") -> None:
+        self.env = env
+        self.device = device
+        self.scheduler = scheduler
+        # Note: an empty BlockTracer is falsy (it defines __len__), so an
+        # explicit None test is required here.
+        self.tracer = tracer if tracer is not None else BlockTracer(enabled=False)
+        self.name = name
+        self._arrival: Event = env.event()
+        self._busy = False
+        self._inflight = 0
+        self._last_activity = env.now
+        self._last_service_end = env.now
+        self._drain_waiters: List[Event] = []
+        self.dispatches = 0
+        env.process(self._run(), name=f"{name}-runner")
+
+    # -- public API ---------------------------------------------------
+    def submit(self, op: Op, lbn: int, nbytes: int, stream: int = 0,
+               meta: Any = None) -> BlockRequest:
+        """Queue an I/O; the returned request's ``done`` event fires on
+        completion with the request itself as value."""
+        self.device.check_range(lbn, nbytes)
+        req = BlockRequest(self.env, op, lbn, nbytes, stream=stream, meta=meta)
+        self.scheduler.add(req)
+        self._inflight += 1
+        self._last_activity = self.env.now
+        if not self._arrival.triggered:
+            self._arrival.succeed()
+        return req
+
+    @property
+    def pending(self) -> int:
+        """Requests queued or being served."""
+        return self._inflight
+
+    @property
+    def busy(self) -> bool:
+        """True while the device is actively serving a dispatch."""
+        return self._busy
+
+    def idle_duration(self, now: Optional[float] = None) -> float:
+        """How long the queue has been completely idle (0 when active)."""
+        if self._busy or self._inflight > 0:
+            return 0.0
+        return (now if now is not None else self.env.now) - self._last_activity
+
+    def quiesce(self) -> Event:
+        """Event that fires once the queue is empty and the device idle."""
+        ev = self.env.event()
+        if self._inflight == 0 and not self._busy:
+            ev.succeed()
+        else:
+            self._drain_waiters.append(ev)
+        return ev
+
+    # -- runner ---------------------------------------------------------
+    def _run(self):
+        env = self.env
+        while True:
+            if self.scheduler.empty:
+                # Sleep until something arrives.
+                self._arrival = env.event()
+                yield self._arrival
+                continue
+            dispatch, idle_until = self.scheduler.select(env.now)
+            if dispatch is None:
+                if idle_until is None:
+                    continue
+                # CFQ anticipation: wait for either the idle deadline or
+                # a new arrival, whichever comes first.
+                self._arrival = env.event()
+                deadline = env.timeout(max(0.0, idle_until - env.now))
+                yield env.any_of([self._arrival, deadline])
+                continue
+            yield from self._serve(dispatch)
+
+    def _serve(self, dispatch: Dispatch):
+        env = self.env
+        self._busy = True
+        # How long the device sat idle before this dispatch: rotational
+        # state decays across idle gaps (see HDDConfig.sweep_idle_reset).
+        idle_gap = max(0.0, env.now - self._last_service_end)
+        service = self.device.serve(dispatch.op, dispatch.lbn, dispatch.nbytes,
+                                    idle_gap=idle_gap)
+        self.dispatches += 1
+        self.tracer.record(env.now, dispatch.op, dispatch.lbn,
+                           dispatch.nbytes, len(dispatch.members))
+        for member in dispatch.members:
+            member.dispatch_time = env.now
+        yield env.timeout(service)
+        self._busy = False
+        self._inflight -= len(dispatch.members)
+        self._last_activity = env.now
+        self._last_service_end = env.now
+        for member in dispatch.members:
+            member.complete_time = env.now
+            member.done.succeed(member)
+        if self._inflight == 0 and self._drain_waiters:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for ev in waiters:
+                ev.succeed()

@@ -1,0 +1,113 @@
+"""Block-layer request representation.
+
+A :class:`BlockRequest` is a contiguous device-level I/O.  The elevator
+may merge contiguous requests of the same direction into one dispatch;
+the dispatched unit keeps its member requests so each original waiter
+is completed when the merged I/O finishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from ..devices.base import Op
+from ..errors import StorageError
+from ..sim import Environment, Event
+
+_ids = itertools.count(1)
+
+
+class BlockRequest:
+    """One contiguous device I/O submitted to a scheduler."""
+
+    __slots__ = ("id", "op", "lbn", "nbytes", "stream", "submit_time",
+                 "done", "meta", "dispatch_time", "complete_time")
+
+    def __init__(self, env: Environment, op: Op, lbn: int, nbytes: int,
+                 stream: int = 0, meta: Any = None) -> None:
+        if nbytes <= 0:
+            raise StorageError(f"block request size must be positive, got {nbytes}")
+        if lbn < 0:
+            raise StorageError(f"negative LBN {lbn}")
+        self.id = next(_ids)
+        self.op = op
+        self.lbn = int(lbn)
+        self.nbytes = int(nbytes)
+        self.stream = stream
+        self.submit_time = env.now
+        self.done: Event = env.event()
+        self.meta = meta
+        self.dispatch_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+
+    @property
+    def end(self) -> int:
+        """First byte address past this request."""
+        return self.lbn + self.nbytes
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-complete latency, once completed."""
+        if self.complete_time is None:
+            return None
+        return self.complete_time - self.submit_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BlockRequest #{self.id} {self.op.value} "
+                f"[{self.lbn},{self.end}) stream={self.stream}>")
+
+
+class Dispatch:
+    """A unit of work handed to the device: one or more merged requests."""
+
+    __slots__ = ("op", "lbn", "nbytes", "members", "born")
+
+    def __init__(self, first: BlockRequest) -> None:
+        self.op = first.op
+        self.lbn = first.lbn
+        self.nbytes = first.nbytes
+        self.members: List[BlockRequest] = [first]
+        self.born = first.submit_time
+
+    def within_merge_window(self, req: BlockRequest, window: float) -> bool:
+        """Is ``req`` close enough in time to merge into this dispatch?"""
+        return abs(req.submit_time - self.born) <= window
+
+    @property
+    def end(self) -> int:
+        return self.lbn + self.nbytes
+
+    def can_back_merge(self, req: BlockRequest, limit: int) -> bool:
+        """``req`` starts exactly where this dispatch ends (same op)."""
+        return (req.op is self.op and req.lbn == self.end
+                and self.nbytes + req.nbytes <= limit)
+
+    def can_front_merge(self, req: BlockRequest, limit: int) -> bool:
+        """``req`` ends exactly where this dispatch starts (same op)."""
+        return (req.op is self.op and req.end == self.lbn
+                and self.nbytes + req.nbytes <= limit)
+
+    def back_merge(self, req: BlockRequest) -> None:
+        self.members.append(req)
+        self.nbytes += req.nbytes
+
+    def front_merge(self, req: BlockRequest) -> None:
+        self.members.append(req)
+        self.lbn = req.lbn
+        self.nbytes += req.nbytes
+
+    def absorb(self, other: "Dispatch") -> None:
+        """Back-merge a whole queued dispatch into this one."""
+        self.members.extend(other.members)
+        self.nbytes += other.nbytes
+
+    def absorb_front(self, other: "Dispatch") -> None:
+        """Front-merge a whole queued dispatch into this one."""
+        self.members.extend(other.members)
+        self.lbn = other.lbn
+        self.nbytes += other.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Dispatch {self.op.value} [{self.lbn},{self.end}) "
+                f"x{len(self.members)}>")

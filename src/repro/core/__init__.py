@@ -1,0 +1,31 @@
+"""iBridge: the paper's primary contribution.
+
+Client-side fragment identification lives in ``repro.pfs.client``; this
+package holds the server-side machinery: the service-time model of
+Eqs. 1–3, the SSD mapping table, the log-structured SSD store, the
+dynamic partition manager, and the per-server manager that ties them to
+the block queues.
+"""
+
+from .logstore import LogStore, Segment
+from .manager import BACKGROUND_STREAM, IBridgeManager, IBridgeStats
+from .mapping import CacheEntry, CacheKind, MappingTable
+from .partition import PartitionManager
+from .service_model import (DiskServiceModel, GlobalTTable, TReport,
+                            fragment_return)
+
+__all__ = [
+    "IBridgeManager",
+    "IBridgeStats",
+    "BACKGROUND_STREAM",
+    "DiskServiceModel",
+    "GlobalTTable",
+    "TReport",
+    "fragment_return",
+    "MappingTable",
+    "CacheEntry",
+    "CacheKind",
+    "PartitionManager",
+    "LogStore",
+    "Segment",
+]

@@ -1,0 +1,168 @@
+"""iBridge's dynamic service-time model (paper Eqs. 1–3).
+
+Each data server tracks the exponentially-weighted average service time
+``T`` of requests *served by its disk*:
+
+    T_i = T_{i-1} / 8 + (D_to_T(λ_i − λ_{i-1}) + R + Size_i / B) * 7/8   (Eq. 1)
+
+Requests redirected to the SSD leave ``T`` unchanged (Eq. 2).  The
+*return* of redirecting request ``i`` is ``T_i^disk − T_i^ssd``; when it
+is positive, serving the request at the disk would slow the disk down,
+so iBridge sends it to the SSD.
+
+For a fragment whose disk currently has the largest ``T`` among the
+servers holding its siblings, the return gains the striping
+magnification term ``(T^max − T^sec_max) * n`` (Eq. 3).
+
+Two return policies are provided (see :class:`repro.config.ReturnPolicy`):
+the literal per-request form, and a per-striping-unit normalized form
+matching the paper's disk-efficiency intent.  DESIGN.md §5 discusses
+why the literal form does not bootstrap in a mixed stream; the
+normalized form is the default and the ablation bench quantifies the
+difference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..config import IBridgeConfig, ReturnPolicy
+from ..devices.base import Op
+from ..devices.profiling import SeekProfile
+
+
+class DiskServiceModel:
+    """Tracks ``T`` for one disk and evaluates redirection returns."""
+
+    def __init__(self, profile: SeekProfile, read_bw: float, write_bw: float,
+                 stripe_unit: int, config: IBridgeConfig) -> None:
+        self.profile = profile
+        self.read_bw = read_bw
+        self.write_bw = write_bw
+        self.stripe_unit = stripe_unit
+        self.config = config
+        # Initialize T to the ideal (streaming) time of one striping
+        # unit: an unloaded disk is presumed efficient until observed
+        # otherwise.
+        self._t = stripe_unit / read_bw
+        self.samples = 0
+
+    @property
+    def t_value(self) -> float:
+        """The current average service time ``T_i``."""
+        return self._t
+
+    def _raw_sample(self, op: Op, lbn: int, nbytes: int, head: int) -> float:
+        """Eq. 1's bracketed term: positioning + transfer estimate."""
+        distance = abs(lbn - head)
+        pos = self.profile.positioning(distance, is_write=op.is_write)
+        bw = self.write_bw if op.is_write else self.read_bw
+        return pos + nbytes / bw
+
+    def sample(self, op: Op, lbn: int, nbytes: int, head: int) -> float:
+        """Policy-adjusted sample for a candidate disk service."""
+        raw = self._raw_sample(op, lbn, nbytes, head)
+        if self.config.return_policy is ReturnPolicy.EFFICIENCY:
+            # Normalize to the time the disk would spend per striping
+            # unit of payload, so tiny requests that consume a full
+            # positioning delay register as inefficient.
+            return raw * (self.stripe_unit / nbytes)
+        return raw
+
+    def observe_disk(self, op: Op, lbn: int, nbytes: int, head: int) -> float:
+        """Update ``T`` for a request being served at the disk (Eq. 1)."""
+        s = self.sample(op, lbn, nbytes, head)
+        self._t = (self.config.ewma_old_weight * self._t
+                   + self.config.ewma_new_weight * s)
+        self.samples += 1
+        return self._t
+
+    def observe_ssd(self) -> float:
+        """Eq. 2: a request served at the SSD leaves ``T`` unchanged."""
+        return self._t
+
+    def base_return(self, op: Op, lbn: int, nbytes: int, head: int) -> float:
+        """``T_i^ret = T_i^disk − T_i^ssd`` for serving at the SSD."""
+        s = self.sample(op, lbn, nbytes, head)
+        t_disk = (self.config.ewma_old_weight * self._t
+                  + self.config.ewma_new_weight * s)
+        return t_disk - self._t  # == ewma_new_weight * (s - T)
+
+
+@dataclass(frozen=True)
+class TReport:
+    """One server's broadcast T value."""
+
+    server: int
+    t_value: float
+    time: float
+
+
+class GlobalTTable:
+    """The per-server view of every disk's current ``T``.
+
+    Populated by the metadata server's periodic broadcast; deliberately
+    stale by up to one report period, as in the paper.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[int, TReport] = {}
+
+    def update(self, report: TReport) -> None:
+        self._table[report.server] = report
+
+    def update_many(self, reports: Iterable[TReport]) -> None:
+        for r in reports:
+            self.update(r)
+
+    def get(self, server: int) -> Optional[float]:
+        rep = self._table.get(server)
+        return rep.t_value if rep else None
+
+    def known_servers(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._table))
+
+    def max_and_second(self, servers: Iterable[int]) -> Tuple[float, float, Optional[int]]:
+        """(T^max, T^sec_max, argmax server) over ``servers`` with known T.
+
+        Missing servers are skipped; with fewer than two known values
+        the second maximum falls back to the maximum (zero sibling term).
+        """
+        best_t, best_s = -math.inf, None
+        second = -math.inf
+        for s in servers:
+            t = self.get(s)
+            if t is None:
+                continue
+            if t > best_t:
+                second = best_t
+                best_t, best_s = t, s
+            elif t > second:
+                second = t
+        if best_s is None:
+            return 0.0, 0.0, None
+        if second == -math.inf:
+            second = best_t
+        return best_t, second, best_s
+
+
+def fragment_return(base: float, this_server: int, this_t: float,
+                    sibling_servers: Iterable[int], n_siblings: int,
+                    table: GlobalTTable, enabled: bool = True) -> float:
+    """Apply Eq. 3's striping magnification term to a fragment's return.
+
+    If this server's ``T`` is the largest among the disks holding the
+    fragment's siblings, the fragment gates its parent request and the
+    return grows by ``(T^max − T^sec_max) * n``.
+    """
+    if not enabled or n_siblings <= 0:
+        return base
+    all_servers = list(sibling_servers) + [this_server]
+    t_max, t_sec, argmax = table.max_and_second(all_servers)
+    # Use our live T for ourselves (fresher than the broadcast).
+    if this_t >= t_max or argmax == this_server:
+        t_sec_eff = t_sec if argmax != this_server else t_sec
+        return base + max(0.0, (max(this_t, t_max) - t_sec_eff)) * n_siblings
+    return base

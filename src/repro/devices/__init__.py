@@ -1,0 +1,24 @@
+"""Storage device timing models (HDD and SSD) plus calibration tools."""
+
+from .base import Device, DeviceStats, Op
+from .calibration import (CornerResult, calibrated_ssd_config, derive_ssd_setup,
+                          microbenchmark, table2_corners)
+from .hdd import HardDisk, SeekCurve
+from .profiling import SeekProfile, profile_device
+from .ssd import SolidStateDrive
+
+__all__ = [
+    "Device",
+    "DeviceStats",
+    "Op",
+    "HardDisk",
+    "SeekCurve",
+    "SolidStateDrive",
+    "SeekProfile",
+    "profile_device",
+    "derive_ssd_setup",
+    "calibrated_ssd_config",
+    "microbenchmark",
+    "table2_corners",
+    "CornerResult",
+]

@@ -1,0 +1,127 @@
+"""Abstract storage device model.
+
+A device is a *timing* model: given an operation, a starting LBN (byte
+address on the device) and a size, it returns how long the device needs
+to serve it, updating its internal head/activity state.  The block
+layer (``repro.block``) owns queueing and dispatch order; devices serve
+exactly one request at a time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import StorageError
+
+
+class Op(str, Enum):
+    """I/O operation direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is Op.WRITE
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate counters a device keeps while serving requests."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+    positioning_time: float = 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class Device(abc.ABC):
+    """Base class for storage device timing models."""
+
+    name: str = "device"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise StorageError(f"device capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.stats = DeviceStats()
+        self._head = 0  # byte address just past the last served request
+
+    @property
+    def head(self) -> int:
+        """Current head position (byte address after the last request)."""
+        return self._head
+
+    def check_range(self, lbn: int, nbytes: int) -> None:
+        """Validate that ``[lbn, lbn+nbytes)`` lies on the device."""
+        if nbytes <= 0:
+            raise StorageError(f"request size must be positive, got {nbytes}")
+        if lbn < 0 or lbn + nbytes > self.capacity:
+            raise StorageError(
+                f"request [{lbn}, {lbn + nbytes}) outside device of "
+                f"capacity {self.capacity}")
+
+    @abc.abstractmethod
+    def positioning_time(self, op: Op, lbn: int, nbytes: int) -> float:
+        """Time to position for a request at ``lbn`` from the current head.
+
+        ``nbytes`` participates because small non-contiguous writes pay
+        a read-modify-write penalty on the disk model.
+        """
+
+    @abc.abstractmethod
+    def transfer_time(self, op: Op, nbytes: int) -> float:
+        """Media transfer time for ``nbytes``."""
+
+    def estimate_service_time(self, op: Op, lbn: int, nbytes: int) -> float:
+        """Service-time estimate *without* mutating device state.
+
+        This is what iBridge's Eq. 1 evaluates when deciding whether to
+        redirect a request: ``D_to_T(seek) + R + Size/B`` from the
+        current head position.
+        """
+        self.check_range(lbn, nbytes)
+        return self.positioning_time(op, lbn, nbytes) + self.transfer_time(op, nbytes)
+
+    def notice_idle(self, idle_gap: float) -> None:
+        """Tell the device it sat idle for ``idle_gap`` seconds before
+        the request about to be served (rotational state decays)."""
+
+    def _after_serve(self) -> None:
+        """Hook run after each served request (clears transient state)."""
+
+    def serve(self, op: Op, lbn: int, nbytes: int,
+              idle_gap: float = 0.0) -> float:
+        """Serve the request, update state, and return the service time."""
+        self.check_range(lbn, nbytes)
+        if idle_gap > 0.0:
+            self.notice_idle(idle_gap)
+        pos = self.positioning_time(op, lbn, nbytes)
+        xfer = self.transfer_time(op, nbytes)
+        self._head = lbn + nbytes
+        self._after_serve()
+        self.stats.positioning_time += pos
+        self.stats.busy_time += pos + xfer
+        if op.is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+        return pos + xfer
+
+    def reset_stats(self) -> None:
+        """Zero the counters (head position is preserved)."""
+        self.stats = DeviceStats()

@@ -1,0 +1,116 @@
+"""Calibration of device models against the paper's Table II.
+
+Two pieces:
+
+* :func:`derive_ssd_setup` — closed-form derivation of SSD per-command
+  setup costs from the four corner bandwidths at a reference request
+  size (4 KB in Table II).
+* :func:`microbenchmark` — the Table II experiment: run 4 KB
+  sequential and uniformly-random read/write streams against a device
+  model and report the achieved MB/s for each corner.
+
+The SSD corners reproduce Table II essentially exactly.  The HDD
+*sequential* corners reproduce exactly; the HDD *random* corners are
+documented deviations: the paper's 15 MB/s random-read figure for a
+7200-RPM disk is a deep-queue/spec-sheet number no single-spindle
+latency model can reproduce, while our model's random corners reflect
+per-request positioning — which is what actually drives every other
+experiment in the paper (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..config import SSDConfig
+from ..units import KiB, MiB
+from .base import Device, Op
+
+
+def derive_ssd_setup(seq_bw: float, rand_bw: float,
+                     ref_size: int = 4 * KiB) -> float:
+    """Per-command setup cost making ``ref_size`` random ops hit ``rand_bw``.
+
+    A random op takes ``setup + ref_size/seq_bw``; solving
+    ``ref_size / (setup + ref_size/seq_bw) == rand_bw`` for setup gives
+    ``ref_size * (1/rand_bw - 1/seq_bw)``.
+    """
+    if rand_bw > seq_bw:
+        raise ValueError("random bandwidth cannot exceed sequential bandwidth")
+    return ref_size * (1.0 / rand_bw - 1.0 / seq_bw)
+
+
+def calibrated_ssd_config(base: SSDConfig | None = None) -> SSDConfig:
+    """An :class:`SSDConfig` whose setups are derived from its corners."""
+    cfg = base or SSDConfig()
+    return SSDConfig(
+        capacity=cfg.capacity,
+        seq_read_bw=cfg.seq_read_bw,
+        seq_write_bw=cfg.seq_write_bw,
+        read_setup=derive_ssd_setup(cfg.seq_read_bw, 60 * MiB),
+        write_setup=derive_ssd_setup(cfg.seq_write_bw, 30 * MiB),
+    )
+
+
+@dataclass(frozen=True)
+class CornerResult:
+    """Measured throughput for one Table II corner."""
+
+    pattern: str       # "sequential" or "random"
+    op: Op
+    request_size: int
+    requests: int
+    seconds: float
+
+    @property
+    def mib_per_s(self) -> float:
+        return (self.requests * self.request_size) / MiB / self.seconds
+
+
+def microbenchmark(device: Device, op: Op, pattern: str,
+                   request_size: int = 4 * KiB, requests: int = 2000,
+                   span: int | None = None, seed: int = 7) -> CornerResult:
+    """Measure one corner: stream or uniform-random 4 KB ops.
+
+    ``span`` bounds the random placement region (defaults to the whole
+    device, matching how corner benchmarks are usually run).
+    """
+    span = span or device.capacity
+    span = min(span, device.capacity)
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    if pattern == "sequential":
+        # Untimed warmup positions the head at the stream start, so the
+        # measurement reflects steady-state streaming (corner benchmarks
+        # never charge the initial seek).
+        device.serve(op, 0, request_size)
+        lbn = request_size
+        for _ in range(requests):
+            if lbn + request_size > span:
+                lbn = 0
+            total += device.serve(op, lbn, request_size)
+            lbn += request_size
+    elif pattern == "random":
+        slots = max(1, (span - request_size) // request_size)
+        picks = rng.integers(0, slots, size=requests)
+        for p in picks:
+            total += device.serve(op, int(p) * request_size, request_size)
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    return CornerResult(pattern=pattern, op=op, request_size=request_size,
+                        requests=requests, seconds=total)
+
+
+def table2_corners(device: Device, request_size: int = 4 * KiB,
+                   requests: int = 2000) -> Dict[str, float]:
+    """All four Table II corners for ``device``, as {corner: MiB/s}."""
+    out: Dict[str, float] = {}
+    for pattern in ("sequential", "random"):
+        for op in (Op.READ, Op.WRITE):
+            res = microbenchmark(device, op, pattern,
+                                 request_size=request_size, requests=requests)
+            out[f"{pattern}_{op.value}"] = res.mib_per_s
+    return out

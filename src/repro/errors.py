@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event engine (e.g. re-triggering an event)."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value (non-positive size, bad ratio, ...)."""
+
+
+class StorageError(ReproError):
+    """Errors from the device / block / local-store layers."""
+
+
+class AllocationError(StorageError):
+    """The extent allocator ran out of space."""
+
+
+class ProtocolError(ReproError):
+    """Violation of the PFS client/server message protocol."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""

@@ -1,0 +1,6 @@
+"""Per-table / per-figure reproduction experiments (see DESIGN.md §4)."""
+
+from .common import DEFAULT_SCALE, ExperimentResult
+from .registry import EXPERIMENTS, get
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get", "DEFAULT_SCALE"]

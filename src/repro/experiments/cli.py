@@ -1,0 +1,53 @@
+"""Command-line driver: ``ibridge-experiment <name> [--scale S]``.
+
+Runs one experiment (or ``all``) and prints its table(s).  The scale is
+the fraction of the paper's 10 GB working set to simulate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .common import DEFAULT_SCALE
+from .registry import EXPERIMENTS, get
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ibridge-experiment",
+        description="Reproduce a table/figure from the iBridge paper.")
+    parser.add_argument("name", nargs="?", default=None,
+                        help="experiment name, or 'all'")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help=f"fraction of the paper's 10GB working set "
+                             f"(default {DEFAULT_SCALE:.4f})")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or args.name is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+
+    # "all" runs each artifact once (fig2's sub-figures fold into fig2).
+    names = sorted(n for n in EXPERIMENTS
+                   if n not in ("fig2a", "fig2b", "fig2cde")) \
+        if args.name == "all" else [args.name]
+    for name in names:
+        runner = get(name)
+        start = time.time()
+        result = runner(scale=args.scale)
+        elapsed = time.time() - start
+        print(result)
+        print(f"  [{name} finished in {elapsed:.1f}s wall time]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

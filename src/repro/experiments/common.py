@@ -1,0 +1,112 @@
+"""Shared infrastructure for the per-table / per-figure experiments.
+
+Every experiment exposes ``run(scale=DEFAULT_SCALE, **overrides) ->
+ExperimentResult``.  ``scale`` is the fraction of the paper's 10 GB
+working set simulated (the shapes are scale-stable; EXPERIMENTS.md
+records results at the documented scale).  Results carry the paper's
+reference values next to the measured ones so the comparison is
+self-contained.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.report import format_table
+from ..config import ClusterConfig
+from ..devices.base import Op
+from ..pfs.cluster import Cluster
+from ..units import GiB, KiB, MiB
+from ..workloads.base import Workload, run_workload
+
+#: Default fraction of the paper's 10 GB dataset (128 MiB) — big enough
+#: for stable shapes, small enough for seconds-scale runs.
+DEFAULT_SCALE = 1.0 / 80.0
+
+#: The paper's working-set size.
+PAPER_FILE_BYTES = 10 * GiB
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: a printable table plus raw rows."""
+
+    name: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Raw keyed values for tests/benches ({(row_key, col_key): value}).
+    values: Dict[tuple, float] = field(default_factory=dict)
+
+    def add_row(self, row: Sequence[object], **keyed: float) -> None:
+        self.rows.append(list(row))
+        for key, value in keyed.items():
+            self.values[(row[0], key)] = value
+
+    def get(self, row_key: object, col_key: str) -> float:
+        return self.values[(row_key, col_key)]
+
+    def __str__(self) -> str:
+        out = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+
+def file_bytes(scale: float, nprocs: int = 1, request_size: int = 64 * KiB,
+               min_iterations: int = 4) -> int:
+    """Scaled file size, floored so every rank gets min_iterations."""
+    base = int(PAPER_FILE_BYTES * scale)
+    floor = nprocs * request_size * min_iterations
+    return max(base, floor)
+
+
+def base_config(num_servers: int = 8, ibridge: bool = False,
+                **overrides) -> ClusterConfig:
+    """The paper's testbed configuration (Section III-A)."""
+    cfg = ClusterConfig(num_servers=num_servers, **overrides)
+    if ibridge:
+        cfg = cfg.with_ibridge()
+    cfg.validate()
+    return cfg
+
+
+def scaled_ibridge(cfg: ClusterConfig, scale: float,
+                   **overrides) -> ClusterConfig:
+    """Enable iBridge with the SSD partition scaled like the dataset.
+
+    The paper pairs a 10 GB SSD partition with a 10 GB dataset; keeping
+    the ratio preserves capacity-pressure behaviour at small scales.
+    """
+    partition = overrides.pop("ssd_partition",
+                              max(8 * MiB, int(10 * GiB * scale)))
+    return cfg.with_ibridge(ssd_partition=partition, **overrides)
+
+
+def measure(cfg: ClusterConfig, workload: Workload, warm_runs: int = 0,
+            trace_disk: bool = False):
+    """Build a fresh cluster, run the workload, return (result, cluster)."""
+    cluster = Cluster(cfg, trace_disk=trace_disk)
+    result = run_workload(cluster, workload, warm_runs=warm_runs)
+    return result, cluster
+
+
+def stock_vs_ibridge(make_workload: Callable[[], Workload], scale: float,
+                     num_servers: int = 8, warm_ibridge_reads: bool = False,
+                     op: Optional[Op] = None, **ib_overrides):
+    """Run the same workload on the stock system and with iBridge.
+
+    Returns (stock_result, ibridge_result).  ``warm_ibridge_reads``
+    performs the paper's prior-run warm pass for read workloads (the
+    fragments identified in one run are cached for the next).
+    """
+    stock_cfg = base_config(num_servers=num_servers)
+    ib_cfg = scaled_ibridge(base_config(num_servers=num_servers), scale,
+                            **ib_overrides)
+    stock, _ = measure(stock_cfg, make_workload())
+    warm = 1 if (warm_ibridge_reads and (op is None or op is Op.READ)) else 0
+    ib, _ = measure(ib_cfg, make_workload(), warm_runs=warm)
+    return stock, ib

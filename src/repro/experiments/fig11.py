@@ -1,0 +1,54 @@
+"""Figure 11: BTIO I/O time as a function of SSD capacity.
+
+The SSD partition available to iBridge shrinks from covering the whole
+dataset down to zero; the paper observes an almost-linear relationship
+between cached share and I/O time, with I/O time 12x longer at 0 GB
+(total execution only 2.2x, computation being significant).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..workloads.btio import btio_io_time
+from .common import (DEFAULT_SCALE, ExperimentResult, base_config, measure,
+                     scaled_ibridge)
+from .fig9 import make_btio
+
+#: Paper sweep: 8 GB down to 0 GB for a 6.8 GB dataset — expressed here
+#: as fractions of the dataset so the sweep scales with the experiment.
+CAPACITY_FRACTIONS = (1.2, 0.6, 0.3, 0.15, 0.0)
+
+
+def run(scale: float = DEFAULT_SCALE, nprocs: int = 64,
+        steps: int = 10,
+        fractions: Sequence[float] = CAPACITY_FRACTIONS) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig11",
+        title="Fig 11 — BTIO I/O time vs SSD capacity",
+        headers=["ssd/dataset", "io time (s)", "exec time (s)",
+                 "io vs full-SSD x"],
+    )
+    probe = make_btio(nprocs, scale, steps)
+    dataset = probe.io_bytes_written
+    compute_time = probe.steps * probe.compute_per_step
+    baseline_io = None
+    for frac in fractions:
+        capacity = int(dataset * frac)
+        if capacity > 0:
+            cfg = scaled_ibridge(base_config(), scale, ssd_partition=capacity)
+        else:
+            cfg = base_config()  # 0 GB: effectively the stock system
+        res, _ = measure(cfg, make_btio(nprocs, scale, steps))
+        io_time = btio_io_time(res, compute_time)
+        if baseline_io is None:
+            baseline_io = io_time
+        ratio = io_time / baseline_io if baseline_io else 0.0
+        result.add_row(
+            [f"{frac:.2f}", round(io_time, 2), round(res.makespan, 2),
+             round(ratio, 2)],
+            io_time=io_time, exec_time=res.makespan, ratio=ratio)
+    result.notes.append(
+        "paper: ~linear I/O-time growth as capacity shrinks; 12x I/O time "
+        "at 0 GB but only 2.2x total execution time")
+    return result

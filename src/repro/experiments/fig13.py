@@ -1,0 +1,52 @@
+"""Figure 13: effect of the request-size threshold.
+
+mpi-io-test, 64 processes, 65 KB requests; the threshold for both
+fragments and regular random requests sweeps 10/20/30/40 KB.  Reported:
+throughput normalized to the aligned 64 KB run, and SSD usage
+normalized to the total data accessed.  The paper picks 20 KB as the
+default: 21% less throughput than 40 KB but 76% less SSD usage
+(longevity trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..devices.base import Op
+from ..units import KiB
+from ..workloads.mpi_io_test import MpiIoTest
+from .common import (DEFAULT_SCALE, ExperimentResult, base_config, file_bytes,
+                     measure, scaled_ibridge)
+
+
+def run(scale: float = DEFAULT_SCALE, nprocs: int = 64,
+        thresholds_kib: Sequence[int] = (10, 20, 30, 40),
+        op: Op = Op.WRITE) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig13",
+        title="Fig 13 — threshold sweep (65KiB requests, normalized)",
+        headers=["threshold", "throughput MiB/s", "normalized tp",
+                 "ssd usage %"],
+    )
+    aligned_wl = MpiIoTest(nprocs=nprocs, request_size=64 * KiB,
+                           file_size=file_bytes(scale, nprocs, 64 * KiB), op=op)
+    aligned, _ = measure(base_config(), aligned_wl)
+    base_tp = aligned.throughput_mib_s
+
+    for thr in thresholds_kib:
+        cfg = scaled_ibridge(base_config(), scale,
+                             fragment_threshold=thr * KiB,
+                             random_threshold=thr * KiB)
+        wl = MpiIoTest(nprocs=nprocs, request_size=65 * KiB,
+                       file_size=file_bytes(scale, nprocs, 65 * KiB), op=op)
+        res, _ = measure(cfg, wl)
+        norm = res.throughput_mib_s / base_tp if base_tp else 0.0
+        result.add_row(
+            [f"{thr}KiB", round(res.throughput_mib_s, 1), round(norm, 3),
+             round(res.ssd_fraction * 100, 1)],
+            throughput=res.throughput_mib_s, normalized=norm,
+            ssd_pct=res.ssd_fraction * 100)
+    result.notes.append("paper: throughput rises with the threshold "
+                        "(+56% from 10KB to 40KB) while SSD usage grows "
+                        "3% -> 42%; 20KB chosen for SSD longevity")
+    return result

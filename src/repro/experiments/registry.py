@@ -1,0 +1,43 @@
+"""Registry of all experiments, keyed by the paper artifact they rebuild."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import (ablation, collective, degraded, fig2, fig3, fig4, fig5, fig6,
+               fig7, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2,
+               table3)
+from .common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig2": fig2.run,
+    "fig2a": fig2.run_fig2a,
+    "fig2b": fig2.run_fig2b,
+    "fig2cde": fig2.run_fig2cde,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "table3": table3.run,
+    "ablation": ablation.run,
+    "collective": collective.run,
+    "degraded": degraded.run,
+}
+
+
+def get(name: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment by name (KeyError lists what exists)."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"known: {', '.join(sorted(EXPERIMENTS))}") from None

@@ -1,0 +1,53 @@
+"""Table III: trace-replay request service times, stock vs iBridge.
+
+The four synthesized scientific traces are replayed by a single process
+(as the paper does with the Sandia traces); the metric is the average
+request service time.  Expected: 14-30% reductions, larger for CTH and
+S3D (more random/unaligned requests), and S3D's average about twice the
+others' (much larger requests).
+"""
+
+from __future__ import annotations
+
+from ..units import GiB
+from ..workloads.replay import TraceReplay
+from ..workloads.traces import APP_PROFILES, synthesize_trace
+from .common import (DEFAULT_SCALE, ExperimentResult, base_config, measure,
+                     scaled_ibridge)
+
+#: Paper Table III (ms): app -> (stock, iBridge).
+PAPER_TABLE3 = {
+    "ALEGRA-2744": (16.6, 14.2),
+    "ALEGRA-5832": (17.2, 14.0),
+    "CTH": (19.4, 14.4),
+    "S3D": (36.0, 25.3),
+}
+
+
+def run(scale: float = DEFAULT_SCALE, requests: int = 600,
+        seed: int = 20130520) -> ExperimentResult:
+    result = ExperimentResult(
+        name="table3",
+        title="Table III — trace replay, mean request service time (ms)",
+        headers=["app", "stock", "iBridge", "reduction%",
+                 "paper stock", "paper iBridge"],
+    )
+    span = max(int(10 * GiB * scale), 64 * 1024 * 1024)
+    for app in APP_PROFILES:
+        trace = synthesize_trace(app, requests=requests, span=span, seed=seed)
+        stock, _ = measure(base_config(),
+                           TraceReplay(trace, span=span, name=f"replay-{app}"))
+        ib_cfg = scaled_ibridge(base_config(), scale)
+        ib, _ = measure(ib_cfg,
+                        TraceReplay(trace, span=span, name=f"replay-{app}"),
+                        warm_runs=1)
+        s_ms = stock.mean_service_time * 1000
+        i_ms = ib.mean_service_time * 1000
+        red = (s_ms - i_ms) / s_ms * 100 if s_ms else 0
+        ps, pi = PAPER_TABLE3[app]
+        result.add_row([app, round(s_ms, 1), round(i_ms, 1), round(red, 1),
+                        ps, pi],
+                       stock_ms=s_ms, ibridge_ms=i_ms, reduction=red)
+    result.notes.append("paper reductions: 13.9/18.7/25.9/29.8 %; CTH and "
+                        "S3D gain more (more random/unaligned requests)")
+    return result

@@ -1,0 +1,6 @@
+"""Local (per-server) storage: extent allocation and file→LBN mapping."""
+
+from .extents import Extent, ExtentAllocator, split_ranges
+from .store import LocalStore
+
+__all__ = ["Extent", "ExtentAllocator", "split_ranges", "LocalStore"]

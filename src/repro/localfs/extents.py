@@ -1,0 +1,85 @@
+"""Extent allocation over a device's byte address space.
+
+Models the relevant behaviour of Ext2 allocation for PVFS2 bstream
+files: space is handed out in contiguous extents, sequential growth of
+one file yields contiguous device ranges, and interleaved growth of
+multiple files fragments them.  A reserved region can be carved out
+(iBridge's pre-created log file on the SSD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import AllocationError
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous device range ``[lbn, lbn + length)``."""
+
+    lbn: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.lbn + self.length
+
+
+class ExtentAllocator:
+    """First-fit-with-cursor allocator (no frees except whole-device reset).
+
+    The simulated workloads only ever grow files, so a bump-cursor
+    allocator suffices; ``contiguous_with`` lets a caller ask whether
+    the next allocation would extend a given extent in place.
+    """
+
+    def __init__(self, capacity: int, start: int = 0) -> None:
+        if capacity <= 0:
+            raise AllocationError(f"capacity must be positive, got {capacity}")
+        if not 0 <= start < capacity:
+            raise AllocationError(f"start {start} outside [0, {capacity})")
+        self.capacity = capacity
+        self._cursor = start
+        self._start = start
+
+    @property
+    def used(self) -> int:
+        return self._cursor - self._start
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._cursor
+
+    def allocate(self, nbytes: int) -> Extent:
+        """Allocate a contiguous extent of ``nbytes``."""
+        if nbytes <= 0:
+            raise AllocationError(f"allocation size must be positive, got {nbytes}")
+        if self._cursor + nbytes > self.capacity:
+            raise AllocationError(
+                f"out of space: need {nbytes}, free {self.free}")
+        ext = Extent(self._cursor, nbytes)
+        self._cursor += nbytes
+        return ext
+
+    def contiguous_with(self, extent: Extent) -> bool:
+        """Would the next allocation start exactly at ``extent.end``?"""
+        return self._cursor == extent.end
+
+    def reset(self) -> None:
+        self._cursor = self._start
+
+
+def split_ranges(ranges: List[Extent], max_piece: int) -> List[Extent]:
+    """Split extents into pieces of at most ``max_piece`` bytes."""
+    if max_piece <= 0:
+        raise AllocationError("max_piece must be positive")
+    out: List[Extent] = []
+    for ext in ranges:
+        off = 0
+        while off < ext.length:
+            piece = min(max_piece, ext.length - off)
+            out.append(Extent(ext.lbn + off, piece))
+            off += piece
+    return out

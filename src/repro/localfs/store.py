@@ -1,0 +1,98 @@
+"""Per-server local file store: file offsets → device LBN ranges.
+
+Each PVFS2 data server keeps one local "bstream" file per PFS file
+handle.  The store maps (handle, offset, size) to device byte ranges,
+allocating extents on first write.  Sequentially grown files get
+contiguous LBNs (the common case for the paper's pre-written 10 GB
+benchmark files), so logical sequential access at a server is physical
+sequential access on its disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import StorageError
+from ..util.intervals import IntervalMap
+from .extents import ExtentAllocator
+
+
+def _lbn_coalesce(left: Tuple[int, int, int], right: Tuple[int, int, int]):
+    """Merge adjacent file intervals whose device ranges are contiguous."""
+    ls, le, lv = left
+    _rs, _re, rv = right
+    if lv + (le - ls) == rv:
+        return lv
+    return None
+
+
+class LocalStore:
+    """Maps per-handle file space onto one device's LBN space."""
+
+    def __init__(self, capacity: int, reserve: int = 0) -> None:
+        if reserve < 0 or reserve >= capacity:
+            raise StorageError(f"invalid reserve {reserve} for capacity {capacity}")
+        self.allocator = ExtentAllocator(capacity, start=reserve)
+        self.reserved = reserve
+        self._files: Dict[int, IntervalMap] = {}
+
+    def _file(self, handle: int) -> IntervalMap:
+        fmap = self._files.get(handle)
+        if fmap is None:
+            fmap = IntervalMap(coalesce=_lbn_coalesce)
+            self._files[handle] = fmap
+        return fmap
+
+    def file_size(self, handle: int) -> int:
+        """Total allocated bytes of ``handle`` (0 if unknown)."""
+        fmap = self._files.get(handle)
+        return fmap.total_bytes if fmap else 0
+
+    def ensure(self, handle: int, offset: int, nbytes: int) -> None:
+        """Allocate backing extents for any holes in ``[offset, offset+nbytes)``."""
+        if nbytes <= 0:
+            raise StorageError(f"size must be positive, got {nbytes}")
+        fmap = self._file(handle)
+        for gap_start, gap_end in fmap.gaps(offset, offset + nbytes):
+            ext = self.allocator.allocate(gap_end - gap_start)
+            fmap.set(gap_start, gap_end, ext.lbn)
+
+    def ranges_for_write(self, handle: int, offset: int,
+                         nbytes: int) -> List[Tuple[int, int]]:
+        """Device (lbn, size) ranges for a write, allocating as needed."""
+        self.ensure(handle, offset, nbytes)
+        return self._ranges(handle, offset, nbytes)
+
+    def ranges_for_read(self, handle: int, offset: int,
+                        nbytes: int) -> List[Tuple[int, int]]:
+        """Device (lbn, size) ranges for a read of existing data."""
+        fmap = self._files.get(handle)
+        if fmap is None or not fmap.is_covered(offset, offset + nbytes):
+            raise StorageError(
+                f"read of unallocated range [{offset}, {offset + nbytes}) "
+                f"in handle {handle}")
+        return self._ranges(handle, offset, nbytes)
+
+    def _ranges(self, handle: int, offset: int, nbytes: int) -> List[Tuple[int, int]]:
+        fmap = self._files[handle]
+        out: List[Tuple[int, int]] = []
+        for cs, ce, lbn, delta in fmap.get(offset, offset + nbytes):
+            out.append((lbn + delta, ce - cs))
+        # Merge device-contiguous neighbouring pieces so one logically
+        # contiguous file range maps to as few device I/Os as possible.
+        merged: List[Tuple[int, int]] = []
+        for lbn, size in out:
+            if merged and merged[-1][0] + merged[-1][1] == lbn:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((lbn, size))
+        return merged
+
+    def preallocate(self, handle: int, nbytes: int) -> None:
+        """Lay out ``handle`` contiguously from offset 0 (benchmark files)."""
+        if nbytes <= 0:
+            raise StorageError(f"size must be positive, got {nbytes}")
+        if self.file_size(handle) != 0:
+            raise StorageError(f"handle {handle} already has data")
+        ext = self.allocator.allocate(nbytes)
+        self._file(handle).set(0, nbytes, ext.lbn)

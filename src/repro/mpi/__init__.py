@@ -1,0 +1,8 @@
+"""Simulated MPI runtime (ranks, barrier, MPI-IO style file access,
+two-phase collective I/O and data sieving)."""
+
+from .collective import CollectiveEngine, sieve_plan, sieved_io
+from .runtime import MPIRun, RankContext
+
+__all__ = ["MPIRun", "RankContext", "CollectiveEngine", "sieve_plan",
+           "sieved_io"]

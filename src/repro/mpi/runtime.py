@@ -1,0 +1,116 @@
+"""Simulated MPI runtime: ranks, barriers, and MPI-IO style file access.
+
+Ranks are simulation processes.  Each rank gets a :class:`RankContext`
+exposing synchronous ``read_at``/``write_at`` (mirroring MPI-IO's
+``File.Read_at``/``Write_at`` semantics: the call returns when the data
+has been served by the storage system), an optional collective barrier,
+and a ``compute`` call for modelled computation phases (used by BTIO).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..devices.base import Op
+from ..errors import WorkloadError
+from ..pfs.cluster import Cluster
+from ..sim import Barrier, Environment, Event
+
+RankBody = Callable[["RankContext"], Generator]
+
+
+class RankContext:
+    """The API surface an MPI rank body programs against."""
+
+    def __init__(self, run: "MPIRun", rank: int) -> None:
+        self._run = run
+        self.rank = rank
+        self.env: Environment = run.cluster.env
+        self._client = run.cluster.client(rank % run.client_nodes)
+        self._collective_calls = 0
+
+    @property
+    def nprocs(self) -> int:
+        return self._run.nprocs
+
+    # -- I/O (yieldable events) ---------------------------------------
+    def read_at(self, handle: int, offset: int, nbytes: int) -> Event:
+        """Synchronous read; yield the returned event."""
+        return self._client.read(handle, offset, nbytes, self.rank)
+
+    def write_at(self, handle: int, offset: int, nbytes: int) -> Event:
+        """Synchronous write; yield the returned event."""
+        return self._client.write(handle, offset, nbytes, self.rank)
+
+    def io(self, op: Op, handle: int, offset: int, nbytes: int) -> Event:
+        if op is Op.WRITE:
+            return self.write_at(handle, offset, nbytes)
+        return self.read_at(handle, offset, nbytes)
+
+    # -- collective I/O (two-phase, ROMIO-style) -----------------------
+    def write_at_all(self, handle: int, offset: int, nbytes: int) -> Event:
+        """Collective write: all ranks must call, in the same order."""
+        return self._collective(Op.WRITE, handle, offset, nbytes)
+
+    def read_at_all(self, handle: int, offset: int, nbytes: int) -> Event:
+        """Collective read: all ranks must call, in the same order."""
+        return self._collective(Op.READ, handle, offset, nbytes)
+
+    def _collective(self, op: Op, handle: int, offset: int,
+                    nbytes: int) -> Event:
+        call_id = self._collective_calls
+        self._collective_calls += 1
+        return self._run.collective.submit(self.rank, op, handle, offset,
+                                           nbytes, call_id)
+
+    # -- synchronization ------------------------------------------------
+    def barrier(self) -> Event:
+        """Collective barrier across all ranks of this run."""
+        return self._run.barrier.wait()
+
+    def compute(self, seconds: float) -> Event:
+        """Model a computation phase of ``seconds``."""
+        return self.env.timeout(seconds)
+
+
+class MPIRun:
+    """One mpiexec-style job of ``nprocs`` ranks over a cluster."""
+
+    def __init__(self, cluster: Cluster, nprocs: int,
+                 client_nodes: Optional[int] = None) -> None:
+        if nprocs < 1:
+            raise WorkloadError(f"nprocs must be >= 1, got {nprocs}")
+        self.cluster = cluster
+        self.nprocs = nprocs
+        # By default each rank runs on its own compute node (its own
+        # client/NIC); pass a smaller number to pack ranks per node.
+        self.client_nodes = client_nodes or nprocs
+        self.barrier = Barrier(cluster.env, nprocs)
+        self._rank_procs: List = []
+        self._collective = None
+
+    @property
+    def collective(self):
+        """Lazily-built two-phase collective I/O engine."""
+        if self._collective is None:
+            from .collective import CollectiveEngine
+            self._collective = CollectiveEngine(self)
+        return self._collective
+
+    def launch(self, body: RankBody) -> Event:
+        """Start every rank running ``body``; returns the all-done event."""
+        env = self.cluster.env
+        self._rank_procs = [
+            env.process(body(RankContext(self, rank)), name=f"rank{rank}")
+            for rank in range(self.nprocs)
+        ]
+        return env.all_of(self._rank_procs)
+
+    def run_to_completion(self, body: RankBody) -> float:
+        """Launch and run the simulation until all ranks finish.
+
+        Returns the simulated completion time.
+        """
+        done = self.launch(body)
+        self.cluster.env.run(until=done)
+        return self.cluster.env.now

@@ -1,0 +1,5 @@
+"""Network fabric model."""
+
+from .network import Network, NetworkStats
+
+__all__ = ["Network", "NetworkStats"]

@@ -1,0 +1,77 @@
+"""Interconnect model.
+
+The paper's testbed uses dual-rail 4X QDR InfiniBand — fast enough that
+the network is never the bottleneck, but every PVFS2 message still pays
+a fixed software/latency cost.  We model each endpoint with an egress
+and an ingress NIC of finite bandwidth (capacity-1 resources, so
+concurrent messages at one endpoint serialize their wire time) plus a
+per-message overhead and propagation latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import NetworkConfig
+from ..sim import Environment, Event, Resource
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transfer counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    wire_time: float = 0.0
+
+
+class Network:
+    """Message fabric connecting clients, data servers and the MDS."""
+
+    def __init__(self, env: Environment, config: NetworkConfig | None = None) -> None:
+        self.env = env
+        self.config = config or NetworkConfig()
+        self.config.validate()
+        self._egress: Dict[str, Resource] = {}
+        self._ingress: Dict[str, Resource] = {}
+        self.stats = NetworkStats()
+
+    def _nic(self, table: Dict[str, Resource], endpoint: str) -> Resource:
+        nic = table.get(endpoint)
+        if nic is None:
+            nic = Resource(self.env, capacity=1)
+            table[endpoint] = nic
+        return nic
+
+    def send(self, src: str, dst: str, nbytes: int = 0) -> Event:
+        """Deliver a message; the returned event fires at delivery time.
+
+        ``nbytes`` is payload size; control messages pass 0 and still
+        pay overhead + latency.
+        """
+        done = self.env.event()
+        self.env.process(self._transfer(src, dst, int(nbytes), done),
+                         name=f"net:{src}->{dst}")
+        return done
+
+    def _transfer(self, src: str, dst: str, nbytes: int, done: Event):
+        env = self.env
+        cfg = self.config
+        yield env.timeout(cfg.message_overhead)
+        wire = nbytes / cfg.bandwidth
+        if nbytes > 0:
+            # Hold both NICs for the wire time: concurrent transfers at
+            # an endpoint share its link serially.
+            eg = self._nic(self._egress, src).request()
+            yield eg
+            ing = self._nic(self._ingress, dst).request()
+            yield ing
+            yield env.timeout(wire)
+            self._nic(self._ingress, dst).release(ing)
+            self._nic(self._egress, src).release(eg)
+        yield env.timeout(cfg.latency)
+        self.stats.messages += 1
+        self.stats.bytes += nbytes
+        self.stats.wire_time += wire
+        done.succeed()

@@ -1,0 +1,19 @@
+"""PVFS2-like striped parallel file system."""
+
+from .client import PFSClient
+from .cluster import Cluster
+from .layout import StripeLayout, SubExtent
+from .messages import ParentRequest, SubRequest
+from .metadata import MetadataServer
+from .server import DataServer
+
+__all__ = [
+    "StripeLayout",
+    "SubExtent",
+    "ParentRequest",
+    "SubRequest",
+    "PFSClient",
+    "DataServer",
+    "MetadataServer",
+    "Cluster",
+]

@@ -1,0 +1,126 @@
+"""The PFS client: request splitting and fragment flagging.
+
+This is the counterpart of the paper's instrumentation of PVFS2's
+``io_datafile_setup_msgpairs()``: the client knows the striping unit,
+so it decomposes each application request into per-server sub-requests
+and — when iBridge is enabled — flags fragments (sub-threshold pieces
+of multi-server requests) and regular random requests (sub-threshold
+whole requests), attaching the sibling server list each data server
+needs for Eq. 3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import ClusterConfig
+from ..devices.base import Op
+from ..errors import ProtocolError
+from ..net import Network
+from ..sim import Environment, Event
+from ..util.rng import rng_stream
+from .layout import StripeLayout
+from .messages import ParentRequest, SubRequest
+
+
+class PFSClient:
+    """One compute-node client (shared by that node's ranks)."""
+
+    def __init__(self, env: Environment, client_id: int, config: ClusterConfig,
+                 layout: StripeLayout, servers: List, network: Network) -> None:
+        self.env = env
+        self.id = client_id
+        self.config = config
+        self.layout = layout
+        self.servers = servers
+        self.network = network
+        self.name = f"client{client_id}"
+        self._rng = rng_stream(config.seed, f"client:{client_id}")
+        self.completed: List[ParentRequest] = []
+        #: When set, completed parent requests are appended here too
+        #: (shared collector installed by the workload runner).
+        self.collector: Optional[List[ParentRequest]] = None
+
+    # ------------------------------------------------------------- splitting
+    def split(self, parent: ParentRequest) -> List[SubRequest]:
+        """Decompose ``parent``, flagging fragments and random requests."""
+        pieces = self.layout.split(parent.offset, parent.nbytes)
+        if not pieces:
+            raise ProtocolError("request split produced no pieces")
+        ib = self.config.ibridge
+        subs: List[SubRequest] = []
+        multi = len(pieces) > 1
+        for piece in pieces:
+            sub = SubRequest(parent_id=parent.id, op=parent.op,
+                             handle=parent.handle, server=piece.server,
+                             local_offset=piece.local_offset,
+                             nbytes=piece.nbytes, rank=parent.rank)
+            if ib.enabled:
+                if multi and piece.nbytes < ib.fragment_threshold:
+                    sub.is_fragment = True
+                if not multi and parent.nbytes < ib.random_threshold:
+                    sub.is_random = True
+            subs.append(sub)
+        if ib.enabled and multi:
+            for sub in subs:
+                if sub.is_fragment:
+                    sub.sibling_servers = tuple(
+                        other.server for other in subs if other is not sub)
+        return subs
+
+    # ------------------------------------------------------------- I/O
+    def submit(self, op: Op, handle: int, offset: int, nbytes: int,
+               rank: int) -> Event:
+        """Issue one application request; event fires at completion with
+        the :class:`ParentRequest` (timing fields filled) as value."""
+        parent = ParentRequest(op=op, handle=handle, offset=offset,
+                               nbytes=nbytes, rank=rank)
+        done = self.env.event()
+        self.env.process(self._request(parent, done),
+                         name=f"{self.name}-r{parent.id}")
+        return done
+
+    def read(self, handle: int, offset: int, nbytes: int, rank: int) -> Event:
+        return self.submit(Op.READ, handle, offset, nbytes, rank)
+
+    def write(self, handle: int, offset: int, nbytes: int, rank: int) -> Event:
+        return self.submit(Op.WRITE, handle, offset, nbytes, rank)
+
+    def _request(self, parent: ParentRequest, done: Event):
+        env = self.env
+        parent.submit_time = env.now
+        # Per-request OS/runtime noise; this is what makes concurrent
+        # ranks drift out of phase (see ClusterConfig.client_jitter).
+        jitter = (self._rng.random() * self.config.client_jitter
+                  if self.config.client_jitter > 0 else 0.0)
+        yield env.timeout(self.config.client_overhead + jitter)
+        subs = self.split(parent)
+        completions = []
+        for sub in subs:
+            completions.append(self._sub_round_trip(sub))
+        # A request is complete only when its slowest sub-request is —
+        # the synchronous-request property the paper's analysis hinges on.
+        yield env.all_of(completions)
+        parent.complete_time = env.now
+        self.completed.append(parent)
+        if self.collector is not None:
+            self.collector.append(parent)
+        done.succeed(parent)
+
+    def _sub_round_trip(self, sub: SubRequest) -> Event:
+        """Request message -> server job -> response message."""
+        env = self.env
+        server = self.servers[sub.server]
+        finished = env.event()
+
+        def run():
+            req_payload = sub.nbytes if sub.op is Op.WRITE else 0
+            yield self.network.send(self.name, server.name, req_payload)
+            served = server.submit(sub)
+            yield served
+            resp_payload = sub.nbytes if sub.op is Op.READ else 0
+            yield self.network.send(server.name, self.name, resp_payload)
+            finished.succeed(sub)
+
+        env.process(run(), name=f"{self.name}-s{sub.id}")
+        return finished

@@ -1,0 +1,107 @@
+"""File striping layout: the global↔server-local address mapping.
+
+PVFS2 stripes a file round-robin over data servers in ``stripe_unit``
+chunks.  Server ``s`` stores global stripes ``s, s+N, s+2N, ...``
+packed contiguously in its local bstream file, so a *globally*
+sequential scan is *locally* sequential at every server.
+
+``split`` decomposes a request into per-server sub-extents, grouping
+globally-consecutive stripes that are local-contiguous at the same
+server into one sub-extent (what PVFS2's dataflow achieves with list
+I/O).  A request smaller than ``stripe_unit * num_servers`` therefore
+produces at most one sub-extent per server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SubExtent:
+    """A contiguous piece of a request on one server's local file."""
+
+    server: int
+    local_offset: int
+    nbytes: int
+    global_offset: int
+
+    @property
+    def local_end(self) -> int:
+        return self.local_offset + self.nbytes
+
+
+class StripeLayout:
+    """Round-robin striping over ``num_servers`` with ``stripe_unit``."""
+
+    def __init__(self, stripe_unit: int, num_servers: int) -> None:
+        if stripe_unit <= 0:
+            raise ConfigError(f"stripe_unit must be positive, got {stripe_unit}")
+        if num_servers <= 0:
+            raise ConfigError(f"num_servers must be positive, got {num_servers}")
+        self.stripe_unit = stripe_unit
+        self.num_servers = num_servers
+
+    def server_of(self, offset: int) -> int:
+        """The server holding the byte at global ``offset``."""
+        return (offset // self.stripe_unit) % self.num_servers
+
+    def local_offset(self, offset: int) -> int:
+        """Server-local file offset of global ``offset``."""
+        stripe = offset // self.stripe_unit
+        return (stripe // self.num_servers) * self.stripe_unit + offset % self.stripe_unit
+
+    def is_aligned(self, offset: int, nbytes: int) -> bool:
+        """True when the request starts and ends on stripe boundaries."""
+        return offset % self.stripe_unit == 0 and nbytes % self.stripe_unit == 0
+
+    def split(self, offset: int, nbytes: int) -> List[SubExtent]:
+        """Decompose ``[offset, offset + nbytes)`` into sub-extents.
+
+        Pieces on the same server that are contiguous in its local file
+        (i.e. consecutive global stripes ``g`` and ``g + num_servers``)
+        are coalesced.  Results are ordered by global offset of their
+        first byte.
+        """
+        if nbytes <= 0:
+            raise ConfigError(f"request size must be positive, got {nbytes}")
+        if offset < 0:
+            raise ConfigError(f"negative offset {offset}")
+        unit = self.stripe_unit
+        pieces: List[SubExtent] = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            stripe_end = (pos // unit + 1) * unit
+            piece_end = min(end, stripe_end)
+            server = self.server_of(pos)
+            local = self.local_offset(pos)
+            size = piece_end - pos
+            # Coalesce with an earlier piece on the same server when the
+            # local ranges are contiguous.
+            merged = False
+            for i, prev in enumerate(pieces):
+                if prev.server == server and prev.local_end == local:
+                    pieces[i] = SubExtent(server, prev.local_offset,
+                                          prev.nbytes + size, prev.global_offset)
+                    merged = True
+                    break
+            if not merged:
+                pieces.append(SubExtent(server, local, size, pos))
+            pos = piece_end
+        return pieces
+
+    def total_local_bytes(self, server: int, file_size: int) -> int:
+        """Bytes of a ``file_size``-byte file stored on ``server``."""
+        unit = self.stripe_unit
+        full_cycles, rem = divmod(file_size, unit * self.num_servers)
+        nbytes = full_cycles * unit
+        rem_stripes, tail = divmod(rem, unit)
+        if server < rem_stripes:
+            nbytes += unit
+        elif server == rem_stripes:
+            nbytes += tail
+        return nbytes

@@ -1,0 +1,68 @@
+"""Protocol objects exchanged between PFS clients and servers.
+
+The client-side split produces :class:`SubRequest` objects.  Following
+the paper's design, the client annotates each sub-request with a
+fragment flag and the identifiers of the servers holding its sibling
+sub-requests (Section II-A): servers use this to evaluate the striping
+magnification term of Eq. 3 without any extra round trips.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..devices.base import Op
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class ParentRequest:
+    """One application-level (MPI-IO) request before splitting."""
+
+    op: Op
+    handle: int
+    offset: int
+    nbytes: int
+    rank: int
+    id: int = field(default_factory=lambda: next(_request_ids))
+    submit_time: Optional[float] = None
+    complete_time: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.submit_time is None or self.complete_time is None:
+            return None
+        return self.complete_time - self.submit_time
+
+
+@dataclass
+class SubRequest:
+    """One per-server piece of a parent request."""
+
+    parent_id: int
+    op: Op
+    handle: int
+    server: int
+    local_offset: int
+    nbytes: int
+    rank: int
+    #: Set by the client when this piece is smaller than the fragment
+    #: threshold and the parent spans multiple sub-requests.
+    is_fragment: bool = False
+    #: Set when the *parent itself* is below the regular-random threshold.
+    is_random: bool = False
+    #: Servers holding sibling sub-requests (empty for whole requests).
+    sibling_servers: Tuple[int, ...] = ()
+    id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def local_end(self) -> int:
+        return self.local_offset + self.nbytes
+
+    @property
+    def is_small(self) -> bool:
+        """Candidate for SSD redirection (either flavour)."""
+        return self.is_fragment or self.is_random

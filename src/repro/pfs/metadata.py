@@ -1,0 +1,89 @@
+"""The metadata server: handle allocation and the T-value exchange.
+
+Besides the usual PVFS2 role (file handles / layout metadata, which the
+simulation resolves instantly at file-create time), the MDS runs the
+paper's T-exchange: every data server reports its disk's current
+average service time once per period; the MDS broadcasts the collected
+table back to every data server, which uses it for Eq. 3's striping
+magnification term.  The table is therefore stale by up to one period,
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..config import ClusterConfig
+from ..core.service_model import TReport
+from ..net import Network
+from ..sim import Environment
+
+
+class MetadataServer:
+    """MDS node: handle allocation plus the T broadcast daemon."""
+
+    def __init__(self, env: Environment, config: ClusterConfig,
+                 network: Network) -> None:
+        self.env = env
+        self.config = config
+        self.network = network
+        self.name = "mds"
+        self._handles = itertools.count(1)
+        self._servers: List = []  # DataServer, bound late by the cluster
+        self._table: Dict[int, TReport] = {}
+        self.broadcasts = 0
+        if config.ibridge.enabled:
+            env.process(self._exchange_daemon(), name="mds-t-exchange")
+
+    def bind_servers(self, servers: List) -> None:
+        self._servers = list(servers)
+
+    def create_handle(self) -> int:
+        """Allocate a new PFS file handle."""
+        return next(self._handles)
+
+    # ------------------------------------------------------------- exchange
+    def _exchange_daemon(self):
+        """Collect T values and broadcast them, once per report period."""
+        env = self.env
+        period = self.config.ibridge.report_period
+        while True:
+            yield env.timeout(period)
+            if not self._servers:
+                continue
+            # Collect: one report message per data server.
+            collects = []
+            for server in self._servers:
+                if server.ibridge is None:
+                    continue
+                self._table[server.id] = TReport(server=server.id,
+                                                 t_value=server.t_value,
+                                                 time=env.now)
+                collects.append(self.network.send(server.name, self.name, 64))
+            if collects:
+                yield env.all_of(collects)
+            # Broadcast the full table to every server.
+            reports = list(self._table.values())
+            payload = 64 * max(1, len(reports))
+            sends = []
+            for server in self._servers:
+                if server.ibridge is None:
+                    continue
+                sends.append(self._deliver(server, reports, payload))
+            for done in sends:
+                yield done
+            self.broadcasts += 1
+
+    def _deliver(self, server, reports: List[TReport], payload: int):
+        done = self.network.send(self.name, server.name, payload)
+
+        def apply(_ev):
+            server.ibridge.t_table.update_many(reports)
+
+        done.add_callback(apply)
+        return done
+
+    def current_t(self, server_id: int) -> Optional[float]:
+        rep = self._table.get(server_id)
+        return rep.t_value if rep else None

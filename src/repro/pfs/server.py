@@ -1,0 +1,208 @@
+"""The PVFS2-like data server.
+
+Each data server owns one or more disks (CFQ) and one SSD (Noop), a
+local extent store per disk, and — when enabled — one iBridge manager
+per disk (the paper's stated multi-disk extension: the managers share
+the server's SSD, each with a slice of the partition and a disjoint log
+region).  Incoming sub-requests become I/O jobs; a bounded pool of job
+slots models the server's Trove I/O concurrency.  Without iBridge the
+server simply maps the sub-request onto its primary store and issues
+the block I/Os.
+
+File handles are assigned to disks round-robin (``handle % ndisks``),
+matching how a multi-volume Trove deployment places bstreams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..block import BlockQueue, BlockTracer, make_scheduler
+from ..config import ClusterConfig
+from ..core.manager import IBridgeManager
+from ..core.service_model import GlobalTTable
+from ..devices import HardDisk, Op, SolidStateDrive
+from ..devices.profiling import SeekProfile
+from ..localfs import LocalStore
+from ..sim import Environment, Event, Resource
+from .messages import SubRequest
+
+
+@dataclass
+class ServerStats:
+    """Per-server job counters."""
+
+    jobs: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+@dataclass
+class DiskUnit:
+    """One disk with its queue, store, tracer and (optional) manager."""
+
+    hdd: HardDisk
+    queue: BlockQueue
+    store: LocalStore
+    tracer: BlockTracer
+    ibridge: Optional[IBridgeManager]
+
+
+class DataServer:
+    """One data server node."""
+
+    def __init__(self, env: Environment, server_id: int, config: ClusterConfig,
+                 profile: SeekProfile, t_table: Optional[GlobalTTable] = None,
+                 trace_disk: bool = False) -> None:
+        self.env = env
+        self.id = server_id
+        self.config = config
+        self.name = f"ds{server_id}"
+
+        self.ssd = SolidStateDrive(config.ssd)
+        self.ssd_queue = BlockQueue(env, self.ssd,
+                                    make_scheduler(config.ssd_scheduler),
+                                    name=f"{self.name}-ssd")
+        # SSD-resident file store (used when primary_store == "ssd");
+        # reserve the iBridge log region(s) when iBridge is enabled.
+        reserve = config.ibridge.ssd_partition * 2 if config.ibridge.enabled else 0
+        reserve = min(reserve, self.ssd.capacity // 2)
+        self.ssd_store = LocalStore(self.ssd.capacity, reserve=reserve)
+
+        ndisks = config.server.disks_per_server
+        shared_table = t_table if t_table is not None else GlobalTTable()
+        self._t_table = shared_table
+        self.disks: List[DiskUnit] = []
+        for d in range(ndisks):
+            hdd = HardDisk(config.hdd)
+            tracer = BlockTracer(enabled=trace_disk)
+            queue = BlockQueue(env, hdd, make_scheduler(config.hdd_scheduler),
+                               tracer=tracer, name=f"{self.name}-hdd{d}")
+            store = LocalStore(hdd.capacity)
+            manager = None
+            if config.ibridge.enabled:
+                partition_slice = config.ibridge.ssd_partition // ndisks
+                region_stride = max(2, partition_slice * 2)
+                manager = IBridgeManager(
+                    env, server_id, config, queue, self.ssd_queue, store,
+                    profile, t_table=shared_table,
+                    partition_bytes=partition_slice,
+                    log_base=d * region_stride)
+            self.disks.append(DiskUnit(hdd=hdd, queue=queue, store=store,
+                                       tracer=tracer, ibridge=manager))
+
+        self._slots = Resource(env, capacity=config.server.io_depth)
+        self.stats = ServerStats()
+
+    # --------------------------------------------------- single-disk views
+    @property
+    def hdd(self) -> HardDisk:
+        return self.disks[0].hdd
+
+    @property
+    def hdd_queue(self) -> BlockQueue:
+        return self.disks[0].queue
+
+    @property
+    def disk_store(self) -> LocalStore:
+        return self.disks[0].store
+
+    @property
+    def disk_tracer(self) -> BlockTracer:
+        return self.disks[0].tracer
+
+    @property
+    def ibridge(self) -> Optional[IBridgeManager]:
+        return self.disks[0].ibridge
+
+    # ------------------------------------------------------------- layout
+    def _disk_of(self, handle: int) -> DiskUnit:
+        return self.disks[handle % len(self.disks)]
+
+    def primary_store_for(self, handle: int) -> LocalStore:
+        if self.config.primary_store == "ssd":
+            return self.ssd_store
+        return self._disk_of(handle).store
+
+    def primary_queue_for(self, handle: int) -> BlockQueue:
+        if self.config.primary_store == "ssd":
+            return self.ssd_queue
+        return self._disk_of(handle).queue
+
+    # Back-compat aliases used by single-disk code paths.
+    @property
+    def primary_store(self) -> LocalStore:
+        if self.config.primary_store == "ssd":
+            return self.ssd_store
+        return self.disk_store
+
+    @property
+    def primary_queue(self) -> BlockQueue:
+        if self.config.primary_store == "ssd":
+            return self.ssd_queue
+        return self.hdd_queue
+
+    def preallocate(self, handle: int, nbytes: int) -> None:
+        """Lay out this server's share of a file contiguously."""
+        if nbytes > 0:
+            self.primary_store_for(handle).preallocate(handle, nbytes)
+
+    # ------------------------------------------------------------- serving
+    def submit(self, sub: SubRequest) -> Event:
+        """Accept a sub-request; the event fires when it is served."""
+        done = self.env.event()
+        self.env.process(self._job(sub, done), name=f"{self.name}-job")
+        return done
+
+    def _job(self, sub: SubRequest, done: Event):
+        env = self.env
+        with self._slots.request() as slot:
+            yield slot
+            yield env.timeout(self.config.server.request_overhead)
+            self.stats.jobs += 1
+            if sub.op is Op.WRITE:
+                self.stats.bytes_written += sub.nbytes
+            else:
+                self.stats.bytes_read += sub.nbytes
+            unit = self._disk_of(sub.handle)
+            if unit.ibridge is not None and self.config.primary_store == "hdd":
+                yield from unit.ibridge.handle(sub)
+            else:
+                yield from self._stock_io(sub)
+        done.succeed(sub)
+
+    def _stock_io(self, sub: SubRequest):
+        """Serve directly from the primary store (no iBridge)."""
+        store = self.primary_store_for(sub.handle)
+        queue = self.primary_queue_for(sub.handle)
+        if sub.op is Op.WRITE:
+            ranges = store.ranges_for_write(sub.handle, sub.local_offset,
+                                            sub.nbytes)
+        else:
+            ranges = store.ranges_for_read(sub.handle, sub.local_offset,
+                                           sub.nbytes)
+        reqs = [queue.submit(sub.op, lbn, size, stream=sub.rank)
+                for lbn, size in ranges]
+        yield self.env.all_of([r.done for r in reqs])
+
+    # ------------------------------------------------------------- drains
+    def drain(self):
+        """Generator: wait until all device queues are quiescent and all
+        dirty iBridge data has reached the disks."""
+        for unit in self.disks:
+            yield unit.queue.quiesce()
+        yield self.ssd_queue.quiesce()
+        for unit in self.disks:
+            if unit.ibridge is not None:
+                yield from unit.ibridge.flush_all()
+                yield unit.queue.quiesce()
+
+    @property
+    def t_value(self) -> float:
+        """The server's reported service-time average: the *slowest*
+        disk's T (the disk that would gate a striped request)."""
+        managers = [u.ibridge for u in self.disks if u.ibridge is not None]
+        if not managers:
+            return 0.0
+        return max(m.model.t_value for m in managers)

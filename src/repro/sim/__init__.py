@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal SimPy-flavoured kernel: generator-based processes, a binary
+heap of timestamped events with deterministic tie-breaking, counted
+resources, stores, and barriers.  Everything else in the reproduction
+(devices, schedulers, servers, MPI ranks) is built as processes on top
+of this engine.
+"""
+
+from .core import Environment, Interrupt, Process
+from .events import AllOf, AnyOf, Event, Timeout
+from .resources import PriorityStore, Request, Resource, Store
+from .sync import Barrier, CountdownLatch
+
+__all__ = [
+    "Environment",
+    "Process",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Request",
+    "Store",
+    "PriorityStore",
+    "Barrier",
+    "CountdownLatch",
+]

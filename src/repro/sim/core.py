@@ -1,0 +1,220 @@
+"""The discrete-event simulation environment.
+
+Deterministic by construction: ties in the event heap are broken by a
+monotone sequence number, so two runs with the same seed produce
+identical schedules.  This is essential for reproducible experiments
+and for hypothesis-based property tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .events import PRIORITY_NORMAL, PRIORITY_URGENT, AllOf, AnyOf, Event, Timeout
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator ends.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds its value is sent back into the generator; when it fails,
+    the exception is thrown into the generator (which may catch it).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume on the next scheduler pass at the current time.
+        init = Event(env)
+        init._ok = True
+        init._triggered = True
+        init.callbacks.append(self._resume)
+        env._schedule(init, PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True
+        wakeup._triggered = True
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule(wakeup, PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        self._target = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event.defuse()
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded a non-event: {target!r}")
+            try:
+                self._generator.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as err:
+                self.fail(err)
+            return
+        if target.env is not self.env:
+            self.fail(SimulationError("yielded event belongs to another environment"))
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """Event loop with a simulated clock.
+
+    Usage::
+
+        env = Environment()
+        def proc(env):
+            yield env.timeout(1.0)
+        env.process(proc(env))
+        env.run()
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing once all ``events`` fire."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing once any of ``events`` fires."""
+        return AnyOf(self, list(events))
+
+    # -- scheduling --------------------------------------------------
+    def _schedule(self, event: Event, priority: int = PRIORITY_NORMAL,
+                  delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a time (run until
+        the clock reaches it), or an :class:`Event` (run until it fires,
+        returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event._processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event._processed:
+                raise SimulationError("run() ran out of events before `until` fired")
+            if not stop_event._ok:
+                raise stop_event._value  # type: ignore[misc]
+            return stop_event._value
+        if until is not None and stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,184 @@
+"""Event primitives for the discrete-event engine.
+
+The engine follows the classic coroutine style: a *process* is a Python
+generator that yields :class:`Event` objects; the environment resumes
+the generator when the yielded event fires.  Events are single-shot —
+they succeed or fail exactly once, and callbacks attached afterwards
+fire immediately on the next scheduler pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .core import Environment
+
+Callback = Callable[["Event"], None]
+
+#: Scheduling priorities.  URGENT is used for interrupt-style wakeups,
+#: NORMAL for ordinary event processing.  Lower sorts first.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence with a value and attached callbacks.
+
+    An event moves through three states: *pending* (created),
+    *triggered* (scheduled with a value, waiting in the event heap) and
+    *processed* (callbacks have run).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callback]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state -------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if not self._triggered:
+            raise SimulationError("value accessed before event was triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule this event to fire successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule this event to fire by raising ``exception`` in waiters."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the engine does not re-raise."""
+        self._defused = True
+
+    def add_callback(self, callback: Callback) -> None:
+        """Attach ``callback``; runs immediately if already processed."""
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, PRIORITY_NORMAL, delay)
+
+
+class Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._pending_count = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                ev.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev._processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _on_failure(self, event: Event) -> None:
+        event.defuse()
+        if not self._triggered:
+            self.fail(event._value)
+
+
+class AllOf(Condition):
+    """Fires when every component event has fired (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self._on_failure(event)
+            return
+        self._pending_count += 1
+        if self._pending_count == len(self.events):
+            self.succeed({ev: ev._value for ev in self.events})
+
+
+class AnyOf(Condition):
+    """Fires as soon as any component event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self._on_failure(event)
+            return
+        self.succeed({event: event._value})

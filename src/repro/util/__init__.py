@@ -1,0 +1,6 @@
+"""Shared utilities: interval maps, deterministic RNG streams."""
+
+from .intervals import IntervalMap
+from .rng import rng_stream
+
+__all__ = ["IntervalMap", "rng_stream"]

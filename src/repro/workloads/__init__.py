@@ -1,0 +1,33 @@
+"""Workload models: the paper's benchmarks, traces, and the run harness."""
+
+from .base import Workload, run_workload
+from .btio import BTIO, btio_io_time, btio_request_size
+from .composite import CompositeWorkload
+from .ior import IorMpiIo
+from .mpi_io_test import MpiIoTest
+from .replay import TraceReplay
+from .tracefile import load_trace, save_trace
+from .traces import (APP_PROFILES, TABLE1_RANDOM_THRESHOLD, TABLE1_UNIT,
+                     TraceClassification, TraceRecord, classify_trace,
+                     synthesize_trace)
+
+__all__ = [
+    "Workload",
+    "run_workload",
+    "MpiIoTest",
+    "IorMpiIo",
+    "BTIO",
+    "btio_io_time",
+    "btio_request_size",
+    "CompositeWorkload",
+    "TraceReplay",
+    "TraceRecord",
+    "TraceClassification",
+    "synthesize_trace",
+    "classify_trace",
+    "load_trace",
+    "save_trace",
+    "APP_PROFILES",
+    "TABLE1_UNIT",
+    "TABLE1_RANDOM_THRESHOLD",
+]

@@ -1,0 +1,137 @@
+"""The NAS BTIO benchmark model (MPI-IO "full" mode).
+
+BTIO solves 3D Navier–Stokes with a block-tridiagonal scheme; every
+``wr_interval`` steps each rank appends its portion of the solution
+array.  What matters for the storage system (and all the paper uses):
+
+* it alternates compute phases with bursts of *very small* writes;
+* the per-request size shrinks as the process count grows (the paper
+  quotes 2160 B at 9 processes down to 640 B at 100 — consistent with
+  a ``~ 1/sqrt(nprocs)`` cell-partition scaling, which we adopt);
+* writes from different ranks interleave in the file, so a server sees
+  small scattered requests — regular random requests in iBridge terms;
+* at the end the solution is read back once for verification.
+
+Class C generates 6.8 GB over 40 output steps; ``scale`` shrinks the
+dataset (not the request size!) so simulations stay tractable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import WorkloadError
+from ..mpi.runtime import RankContext
+from ..pfs.cluster import Cluster
+from ..units import GiB
+from .base import Workload
+
+#: Request-size scaling constant: 6480 / sqrt(9) = 2160 B (paper, 9
+#: procs); 6480 / sqrt(100) = 648 B ≈ the paper's 640 B at 100 procs.
+_SIZE_CONSTANT = 6480.0
+
+#: Class C dataset size from the paper.
+CLASS_C_BYTES = int(6.8 * GiB)
+
+#: Output steps in BTIO (class-independent).
+OUTPUT_STEPS = 40
+
+
+def btio_request_size(nprocs: int) -> int:
+    """Per-request write size for a given square process grid size."""
+    return max(64, int(round(_SIZE_CONSTANT / math.sqrt(nprocs))))
+
+
+class BTIO(Workload):
+    """Parametric BTIO model."""
+
+    def __init__(self, nprocs: int = 64, total_bytes: int = CLASS_C_BYTES,
+                 steps: int = OUTPUT_STEPS, compute_per_step: float = 2.0,
+                 scale: float = 1.0, verify_read: bool = False) -> None:
+        if nprocs < 1:
+            raise WorkloadError("nprocs must be >= 1")
+        if not 0 < scale <= 1.0:
+            raise WorkloadError("scale must be in (0, 1]")
+        self._nprocs = nprocs
+        self.steps = steps
+        self.compute_per_step = compute_per_step
+        self.request_size = btio_request_size(nprocs)
+        data = int(total_bytes * scale)
+        per_step_per_rank = max(self.request_size,
+                                data // (steps * nprocs))
+        self.requests_per_step = max(1, per_step_per_rank // self.request_size)
+        self.verify_read = verify_read
+        self.handle: int | None = None
+        self.name = f"btio[np={nprocs}]"
+
+    @property
+    def nprocs(self) -> int:
+        return self._nprocs
+
+    @property
+    def step_bytes(self) -> int:
+        """Bytes appended by the whole job in one output step."""
+        return self.requests_per_step * self.request_size * self._nprocs
+
+    @property
+    def total_bytes(self) -> int:
+        data = self.steps * self.step_bytes
+        if self.verify_read:
+            data *= 2
+        return data
+
+    @property
+    def io_bytes_written(self) -> int:
+        return self.steps * self.step_bytes
+
+    def prepare(self, cluster: Cluster) -> None:
+        if self.handle is None:
+            # Preallocate the solution file: ext2 allocates blocks by
+            # file-offset locality, so offset→LBN must stay linear even
+            # though BTIO's writes *arrive* in scattered order.  (A lazy
+            # arrival-order allocator would accidentally behave like a
+            # log-structured FS and hide the random-write cost.)
+            self.handle = cluster.create_file(self.io_bytes_written)
+
+    @property
+    def _requests_per_step_total(self) -> int:
+        return self.requests_per_step * self._nprocs
+
+    def _permute(self, index: int) -> int:
+        """Scatter write order within a step (multiplicative permutation).
+
+        BT decomposes the 3D array into diagonally-shifted sub-blocks, so
+        successive writes of one rank land at widely separated file
+        offsets — "random and very small I/O requests" (paper §III-D).
+        A multiplicative permutation with a generator coprime to the
+        request count reproduces that scatter while keeping per-step
+        coverage exact (needed for the verification read).
+        """
+        total = self._requests_per_step_total
+        g = max(1, int(total * 0.618)) | 1
+        while math.gcd(g, total) != 1:
+            g += 2
+        return (index * g) % total
+
+    def _offset(self, step: int, rank: int, j: int) -> int:
+        step_base = step * self.step_bytes
+        idx = self._permute(j * self._nprocs + rank)
+        return step_base + idx * self.request_size
+
+    def body(self, ctx: RankContext):
+        for step in range(self.steps):
+            yield ctx.compute(self.compute_per_step)
+            for j in range(self.requests_per_step):
+                offset = self._offset(step, ctx.rank, j)
+                yield ctx.write_at(self.handle, offset, self.request_size)
+            yield ctx.barrier()
+        if self.verify_read:
+            for step in range(self.steps):
+                for j in range(self.requests_per_step):
+                    offset = self._offset(step, ctx.rank, j)
+                    yield ctx.read_at(self.handle, offset, self.request_size)
+
+
+def btio_io_time(result, compute_time: float) -> float:
+    """I/O time = makespan − modelled compute time (BTIO's own metric)."""
+    return max(0.0, result.makespan - compute_time)

@@ -1,0 +1,100 @@
+"""Composite workloads: several programs sharing the storage system.
+
+Used by the paper's Fig. 3 (a constant-size requester plus a competing
+random reader) and Fig. 12 (mpi-io-test running concurrently with
+BTIO).  Ranks are partitioned between the component workloads; each
+component keeps its own file(s) and it reports its own byte total so
+per-component throughput can be derived afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import WorkloadError
+from ..mpi.runtime import RankContext
+from ..pfs.cluster import Cluster
+from ..sim import Barrier
+from .base import Workload
+
+
+class CompositeWorkload(Workload):
+    """Run several workloads concurrently on one cluster."""
+
+    def __init__(self, parts: Sequence[Workload], name: str = "composite") -> None:
+        if not parts:
+            raise WorkloadError("composite needs at least one part")
+        self.parts: List[Workload] = list(parts)
+        self.name = name
+        self._offsets: List[int] = []
+        self._barriers: dict = {}
+        total = 0
+        for part in self.parts:
+            self._offsets.append(total)
+            total += part.nprocs
+        self._nprocs = total
+
+    def rank_range(self, part_index: int) -> range:
+        """Global rank numbers belonging to ``parts[part_index]``."""
+        base = self._offsets[part_index]
+        return range(base, base + self.parts[part_index].nprocs)
+
+    @property
+    def nprocs(self) -> int:
+        return self._nprocs
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.total_bytes for p in self.parts)
+
+    def prepare(self, cluster: Cluster) -> None:
+        for part in self.parts:
+            part.prepare(cluster)
+
+    def _part_of(self, rank: int) -> tuple:
+        for part, base in zip(self.parts, self._offsets):
+            if base <= rank < base + part.nprocs:
+                return part, base
+        raise WorkloadError(f"rank {rank} outside composite")
+
+    def body(self, ctx: RankContext):
+        part, base = self._part_of(ctx.rank)
+        # Re-expose the context with a part-local rank and a part-local
+        # barrier, so each component workload sees its own MPI world.
+        barrier = self._barriers.get(id(part))
+        if barrier is None:
+            barrier = Barrier(ctx.env, part.nprocs)
+            self._barriers[id(part)] = barrier
+        local = _LocalRankContext(ctx, ctx.rank - base, part.nprocs, barrier)
+        yield from part.body(local)
+
+
+class _LocalRankContext:
+    """RankContext view with part-local rank numbering and barrier."""
+
+    def __init__(self, inner: RankContext, rank: int, nprocs: int,
+                 barrier: Barrier) -> None:
+        self._inner = inner
+        self.rank = rank
+        self._nprocs = nprocs
+        self._barrier = barrier
+        self.env = inner.env
+
+    @property
+    def nprocs(self) -> int:
+        return self._nprocs
+
+    def read_at(self, handle, offset, nbytes):
+        return self._inner.read_at(handle, offset, nbytes)
+
+    def write_at(self, handle, offset, nbytes):
+        return self._inner.write_at(handle, offset, nbytes)
+
+    def io(self, op, handle, offset, nbytes):
+        return self._inner.io(op, handle, offset, nbytes)
+
+    def barrier(self):
+        return self._barrier.wait()
+
+    def compute(self, seconds):
+        return self._inner.compute(seconds)

@@ -1,0 +1,58 @@
+"""The ``ior-mpi-io`` benchmark model (ASCI Purple suite).
+
+The file is split into one equal chunk per process; each process scans
+its own chunk sequentially with a configurable request size.  Because
+every process is at the same *relative* offset at the same time, the
+arrival pattern at any data server hops between N widely-separated file
+regions — effectively random from the file system's perspective, which
+is exactly why the paper uses it to study random access.
+"""
+
+from __future__ import annotations
+
+from ..devices.base import Op
+from ..errors import WorkloadError
+from ..mpi.runtime import RankContext
+from ..pfs.cluster import Cluster
+from ..units import GiB, KiB
+from .base import Workload
+
+
+class IorMpiIo(Workload):
+    """Parametric ior-mpi-io: per-process chunked sequential access."""
+
+    def __init__(self, nprocs: int = 64, request_size: int = 64 * KiB,
+                 file_size: int = 10 * GiB, op: Op = Op.READ) -> None:
+        if nprocs < 1:
+            raise WorkloadError("nprocs must be >= 1")
+        if request_size <= 0:
+            raise WorkloadError("request_size must be positive")
+        chunk = file_size // nprocs
+        if chunk < request_size:
+            raise WorkloadError("chunk smaller than one request")
+        self._nprocs = nprocs
+        self.request_size = request_size
+        self.file_size = file_size
+        self.op = op
+        self.chunk_size = chunk
+        self.requests_per_rank = chunk // request_size
+        self.handle: int | None = None
+        self.name = f"ior-mpi-io[{op.value},s={request_size},np={nprocs}]"
+
+    @property
+    def nprocs(self) -> int:
+        return self._nprocs
+
+    @property
+    def total_bytes(self) -> int:
+        return self.requests_per_rank * self.request_size * self._nprocs
+
+    def prepare(self, cluster: Cluster) -> None:
+        if self.handle is None:
+            self.handle = cluster.create_file(self.file_size)
+
+    def body(self, ctx: RankContext):
+        base = ctx.rank * self.chunk_size
+        for j in range(self.requests_per_rank):
+            offset = base + j * self.request_size
+            yield ctx.io(self.op, self.handle, offset, self.request_size)

@@ -1,0 +1,82 @@
+"""The ``mpi-io-test`` benchmark model (PVFS2's bundled test).
+
+N processes iteratively access a shared file: at iteration ``k``,
+process ``i`` accesses one segment of size ``s`` at file offset
+``k*N*s + i*s (+ shift)`` — globally sequential coverage, interleaved
+across processes.  The paper's three alignment patterns (Fig. 1) are
+all expressible:
+
+* Pattern I  — ``request_size == stripe_unit``, ``offset_shift == 0``
+* Pattern II — ``request_size != stripe_unit`` (e.g. 65 KB)
+* Pattern III — ``request_size == stripe_unit`` with a non-zero shift
+
+The paper removes the barrier between iterations to expose more I/O
+concurrency; ``use_barrier`` restores it (used by Fig. 3's analysis).
+"""
+
+from __future__ import annotations
+
+from ..devices.base import Op
+from ..errors import WorkloadError
+from ..mpi.runtime import RankContext
+from ..pfs.cluster import Cluster
+from ..units import GiB, KiB
+from .base import Workload
+
+
+class MpiIoTest(Workload):
+    """Parametric mpi-io-test."""
+
+    def __init__(self, nprocs: int = 64, request_size: int = 64 * KiB,
+                 file_size: int = 10 * GiB, op: Op = Op.READ,
+                 offset_shift: int = 0, use_barrier: bool = False,
+                 collective: bool = False) -> None:
+        if nprocs < 1:
+            raise WorkloadError("nprocs must be >= 1")
+        if request_size <= 0:
+            raise WorkloadError("request_size must be positive")
+        if file_size < request_size * nprocs:
+            raise WorkloadError("file too small for one iteration")
+        self._nprocs = nprocs
+        self.request_size = request_size
+        self.file_size = file_size
+        self.op = op
+        self.offset_shift = offset_shift
+        self.use_barrier = use_barrier
+        #: Use ROMIO-style two-phase collective I/O instead of
+        #: independent requests (the middleware alternative to iBridge).
+        self.collective = collective
+        self.iterations = file_size // (request_size * nprocs)
+        self.handle: int | None = None
+        mode = ",collective" if collective else ""
+        self.name = (f"mpi-io-test[{op.value},s={request_size},"
+                     f"np={nprocs},shift={offset_shift}{mode}]")
+
+    @property
+    def nprocs(self) -> int:
+        return self._nprocs
+
+    @property
+    def total_bytes(self) -> int:
+        return self.iterations * self._nprocs * self.request_size
+
+    def prepare(self, cluster: Cluster) -> None:
+        if self.handle is not None:
+            return
+        # Allocate enough backing space to cover the shifted tail.
+        span = self.total_bytes + self.offset_shift + self.request_size
+        self.handle = cluster.create_file(span)
+
+    def body(self, ctx: RankContext):
+        n, s = self._nprocs, self.request_size
+        for k in range(self.iterations):
+            offset = (k * n + ctx.rank) * s + self.offset_shift
+            if self.collective:
+                if self.op is Op.WRITE:
+                    yield ctx.write_at_all(self.handle, offset, s)
+                else:
+                    yield ctx.read_at_all(self.handle, offset, s)
+            else:
+                yield ctx.io(self.op, self.handle, offset, s)
+            if self.use_barrier:
+                yield ctx.barrier()

@@ -1,0 +1,51 @@
+"""Trace replay (paper Section III-E).
+
+The paper replays the Sandia traces "with a single process using the
+MPI-IO library", restricting data to 10 GB, and reports the average
+request service time with and without iBridge (Table III).  The replay
+workload plays each record synchronously in order from rank 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import WorkloadError
+from ..mpi.runtime import RankContext
+from ..pfs.cluster import Cluster
+from ..units import GiB
+from .base import Workload
+from .traces import TraceRecord
+
+
+class TraceReplay(Workload):
+    """Single-process synchronous trace replay."""
+
+    def __init__(self, records: List[TraceRecord], span: int = 10 * GiB,
+                 name: str = "trace-replay") -> None:
+        if not records:
+            raise WorkloadError("cannot replay an empty trace")
+        self.records = records
+        self.span = span
+        self.name = name
+        self.handle: Optional[int] = None
+
+    @property
+    def nprocs(self) -> int:
+        return 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    def prepare(self, cluster: Cluster) -> None:
+        if self.handle is None:
+            self.handle = cluster.create_file(self.span)
+
+    def body(self, ctx: RankContext):
+        span = self.span
+        for rec in self.records:
+            offset = rec.offset % span
+            if offset + rec.nbytes > span:
+                offset = span - rec.nbytes
+            yield ctx.io(rec.op, self.handle, offset, rec.nbytes)

@@ -1,0 +1,79 @@
+"""Trace file I/O: load and save replayable traces.
+
+The Sandia traces the paper replays are simple (operation, offset,
+size) records.  This module reads and writes that format as CSV so
+users can replay their own application traces through the simulator,
+and ships the synthesized ALEGRA/CTH/S3D traces in the same format.
+
+Format: one record per line, ``op,offset,nbytes`` with ``op`` in
+{read, write}; lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..devices.base import Op
+from ..errors import WorkloadError
+from .traces import TraceRecord
+
+PathLike = Union[str, Path]
+
+
+def dumps_trace(records: Iterable[TraceRecord]) -> str:
+    """Serialize records to the CSV trace format."""
+    buf = io.StringIO()
+    buf.write("# op,offset,nbytes\n")
+    writer = csv.writer(buf)
+    for rec in records:
+        writer.writerow([rec.op.value, rec.offset, rec.nbytes])
+    return buf.getvalue()
+
+
+def loads_trace(text: str) -> List[TraceRecord]:
+    """Parse the CSV trace format into records."""
+    records: List[TraceRecord] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split(",")]
+        if len(parts) != 3:
+            raise WorkloadError(
+                f"trace line {lineno}: expected 'op,offset,nbytes', "
+                f"got {line!r}")
+        op_s, offset_s, nbytes_s = parts
+        try:
+            op = Op(op_s.lower())
+        except ValueError:
+            raise WorkloadError(
+                f"trace line {lineno}: unknown op {op_s!r}") from None
+        try:
+            offset, nbytes = int(offset_s), int(nbytes_s)
+        except ValueError:
+            raise WorkloadError(
+                f"trace line {lineno}: non-integer offset/size") from None
+        if offset < 0 or nbytes <= 0:
+            raise WorkloadError(
+                f"trace line {lineno}: invalid geometry "
+                f"offset={offset} nbytes={nbytes}")
+        records.append(TraceRecord(op=op, offset=offset, nbytes=nbytes))
+    if not records:
+        raise WorkloadError("trace contains no records")
+    return records
+
+
+def save_trace(records: Iterable[TraceRecord], path: PathLike) -> None:
+    """Write records to ``path`` in the CSV trace format."""
+    Path(path).write_text(dumps_trace(records))
+
+
+def load_trace(path: PathLike) -> List[TraceRecord]:
+    """Read a trace file written by :func:`save_trace` (or by hand)."""
+    p = Path(path)
+    if not p.exists():
+        raise WorkloadError(f"trace file not found: {p}")
+    return loads_trace(p.read_text())

@@ -1,0 +1,63 @@
+"""Tests for metrics and report formatting."""
+
+import pytest
+
+from repro.analysis import (LatencyStats, RunResult, format_histogram,
+                            format_table, improvement, reduction)
+from repro.devices import Op
+from repro.pfs.messages import ParentRequest
+from repro.units import MiB
+
+
+def make_request(latency, op=Op.READ, nbytes=1024):
+    req = ParentRequest(op=op, handle=1, offset=0, nbytes=nbytes, rank=0)
+    req.submit_time = 0.0
+    req.complete_time = latency
+    return req
+
+
+def test_throughput_computation():
+    res = RunResult(name="x", makespan=2.0, total_bytes=100 * MiB)
+    assert res.throughput_mib_s == pytest.approx(50.0)
+
+
+def test_zero_makespan_throughput_is_zero():
+    res = RunResult(name="x", makespan=0.0, total_bytes=100)
+    assert res.throughput_mib_s == 0.0
+
+
+def test_latency_stats_by_op():
+    reqs = [make_request(0.1, Op.READ), make_request(0.3, Op.WRITE),
+            make_request(0.2, Op.READ)]
+    res = RunResult(name="x", makespan=1.0, total_bytes=1, requests=reqs)
+    assert res.latency_stats(Op.READ).count == 2
+    assert res.latency_stats(Op.READ).mean == pytest.approx(0.15)
+    assert res.latency_stats().max == pytest.approx(0.3)
+    assert res.mean_service_time == pytest.approx(0.2)
+
+
+def test_latency_stats_empty():
+    stats = LatencyStats.from_latencies([])
+    assert stats.count == 0
+    assert stats.mean == 0.0
+
+
+def test_improvement_and_reduction():
+    assert improvement(100, 250) == pytest.approx(150.0)
+    assert improvement(0, 10) == 0.0
+    assert reduction(10.0, 4.0) == pytest.approx(60.0)
+    assert reduction(0.0, 1.0) == 0.0
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xx", 0.001]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_histogram_orders_by_fraction():
+    out = format_histogram({128: 0.7, 2: 0.1, 16: 0.2})
+    rows = out.splitlines()[2:]
+    assert rows[0].startswith("128")

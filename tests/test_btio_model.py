@@ -1,0 +1,70 @@
+"""Focused tests on the BTIO workload model's internal structure."""
+
+import math
+
+import pytest
+
+from repro.workloads.btio import BTIO, CLASS_C_BYTES, OUTPUT_STEPS, btio_request_size
+
+
+def test_class_c_defaults():
+    wl = BTIO(nprocs=9, scale=0.01)
+    assert wl.steps == OUTPUT_STEPS
+    assert wl.request_size == 2160
+
+
+def test_permutation_is_bijective():
+    """Scattered write order still covers each step region exactly."""
+    wl = BTIO(nprocs=4, steps=2, scale=0.0005)
+    total = wl.requests_per_step * wl.nprocs
+    seen = set()
+    for rank in range(wl.nprocs):
+        for j in range(wl.requests_per_step):
+            idx = wl._permute(j * wl.nprocs + rank)
+            assert 0 <= idx < total
+            seen.add(idx)
+    assert len(seen) == total
+
+
+def test_permutation_scatters_consecutive_writes():
+    """Consecutive writes of one rank land far apart (random access)."""
+    wl = BTIO(nprocs=4, steps=2, scale=0.001)
+    if wl.requests_per_step < 8:
+        pytest.skip("too few requests at this scale")
+    positions = [wl._offset(0, 0, j) for j in range(8)]
+    gaps = [abs(b - a) for a, b in zip(positions, positions[1:])]
+    # Most gaps are much larger than the request size.
+    large = [g for g in gaps if g > 8 * wl.request_size]
+    assert len(large) >= len(gaps) // 2
+
+
+def test_offsets_stay_within_file():
+    wl = BTIO(nprocs=4, steps=3, scale=0.0005)
+    hi = 0
+    for step in range(wl.steps):
+        for rank in range(wl.nprocs):
+            for j in range(wl.requests_per_step):
+                off = wl._offset(step, rank, j)
+                assert off >= step * wl.step_bytes
+                assert off + wl.request_size <= (step + 1) * wl.step_bytes
+                hi = max(hi, off + wl.request_size)
+    assert hi <= wl.io_bytes_written
+
+
+def test_total_bytes_with_verify_read():
+    a = BTIO(nprocs=4, steps=2, scale=0.0005, verify_read=False)
+    b = BTIO(nprocs=4, steps=2, scale=0.0005, verify_read=True)
+    assert b.total_bytes == 2 * a.total_bytes
+
+
+def test_request_size_floor():
+    # Even absurd process counts keep a sane request size.
+    assert btio_request_size(100000) >= 64
+
+
+def test_scale_bounds():
+    from repro.errors import WorkloadError
+    with pytest.raises(WorkloadError):
+        BTIO(nprocs=4, scale=0.0)
+    with pytest.raises(WorkloadError):
+        BTIO(nprocs=0)

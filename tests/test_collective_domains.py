@@ -1,0 +1,65 @@
+"""Unit tests for the collective engine's file-domain partitioning."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.mpi import MPIRun
+from repro.mpi.collective import CollectiveEngine
+from repro.pfs import Cluster
+from repro.units import KiB, MiB
+
+
+def make_engine(num_servers=4, aggregators=None):
+    cluster = Cluster(ClusterConfig(num_servers=num_servers,
+                                    client_jitter=0.0))
+    run = MPIRun(cluster, nprocs=4)
+    return CollectiveEngine(run, aggregators=aggregators)
+
+
+def test_domains_cover_extent_exactly():
+    eng = make_engine()
+    lo, hi = 65 * KiB, 65 * KiB + 8 * 65 * KiB
+    domains = eng._file_domains(lo, hi)
+    assert sum(n for _off, n in domains) == hi - lo
+    assert domains[0][0] == lo
+    ends = [off + n for off, n in domains]
+    starts = [off for off, _n in domains]
+    assert starts[1:] == ends[:-1]  # contiguous, no overlap
+
+
+def test_interior_domain_starts_are_stripe_aligned():
+    eng = make_engine()
+    unit = eng.stripe_unit
+    domains = eng._file_domains(10 * KiB, 10 * KiB + 2 * MiB)
+    for off, _n in domains[1:]:
+        assert off % unit == 0
+
+
+def test_domain_count_bounded_by_aggregators():
+    eng = make_engine(aggregators=3)
+    domains = eng._file_domains(0, 10 * MiB)
+    assert 1 <= len(domains) <= 3 + 1
+
+
+def test_tiny_extent_single_domain():
+    eng = make_engine()
+    domains = eng._file_domains(0, 4 * KiB)
+    assert domains == [(0, 4 * KiB)]
+
+
+def test_default_aggregator_count_is_server_count():
+    eng = make_engine(num_servers=4)
+    assert eng.aggregators == 4
+
+
+def test_exchange_accounting():
+    cluster = Cluster(ClusterConfig(num_servers=2, client_jitter=0.0))
+    handle = cluster.create_file(2 * MiB)
+    run = MPIRun(cluster, nprocs=4)
+
+    def body(ctx):
+        yield ctx.write_at_all(handle, ctx.rank * 64 * KiB, 64 * KiB)
+
+    run.run_to_completion(body)
+    assert run.collective.collective_calls == 1
+    assert run.collective.exchanged_bytes == 4 * 64 * KiB

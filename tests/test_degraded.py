@@ -1,0 +1,65 @@
+"""Tests for the degraded-disk extension experiment and hdd_overrides."""
+
+import pytest
+
+from repro.config import ClusterConfig, HDDConfig
+from repro.errors import ConfigError
+from repro.experiments import get
+from repro.experiments.degraded import degraded_hdd
+from repro.pfs import Cluster
+from repro.units import KiB, MiB
+from repro.workloads import MpiIoTest, run_workload
+
+SMALL = 1 / 320
+
+
+def test_degraded_hdd_scales_mechanics_only():
+    base = HDDConfig()
+    slow = degraded_hdd(base, factor=2.0)
+    assert slow.rotational_miss == 2 * base.rotational_miss
+    assert slow.seek_full == 2 * base.seek_full
+    assert slow.seq_read_bw == base.seq_read_bw  # transfer unchanged
+
+
+def test_hdd_overrides_apply_to_one_server():
+    base = ClusterConfig(num_servers=4, client_jitter=0.0)
+    cluster = Cluster(base, hdd_overrides={2: degraded_hdd(base.hdd)})
+    normal = cluster.servers[0].hdd.config.rotational_miss
+    slow = cluster.servers[2].hdd.config.rotational_miss
+    assert slow == 2 * normal
+
+
+def test_hdd_overrides_validated():
+    base = ClusterConfig(num_servers=2)
+    with pytest.raises(ConfigError):
+        Cluster(base, hdd_overrides={0: HDDConfig(capacity=0)})
+
+
+def test_degraded_server_slows_the_whole_system():
+    # Unaligned writes with arrival jitter: positioning-dominated, so a
+    # slow spindle on one server gates the striped requests.  (Aligned
+    # in-order reads stream via forward skips and would not notice.)
+    from repro.devices import Op
+    base = ClusterConfig(num_servers=4)
+
+    def run_with(overrides):
+        cluster = Cluster(base, hdd_overrides=overrides)
+        wl = MpiIoTest(nprocs=8, request_size=65 * KiB, file_size=8 * MiB,
+                       op=Op.WRITE)
+        return run_workload(cluster, wl).throughput_mib_s
+
+    healthy = run_with(None)
+    degraded = run_with({1: degraded_hdd(base.hdd, factor=3.0)})
+    assert degraded < 0.8 * healthy
+
+
+def test_degraded_experiment_eq3_matters_under_literal_policy():
+    res = get("degraded")(scale=SMALL, nprocs=32)
+    on = res.get("iBridge literal, Eq.3 on", "slow_redirects")
+    off = res.get("iBridge literal, Eq.3 off", "slow_redirects")
+    assert on > 2 * max(1.0, off)
+    assert (res.get("iBridge literal, Eq.3 on", "throughput")
+            > res.get("iBridge literal, Eq.3 off", "throughput"))
+    # Every iBridge variant beats the degraded stock system.
+    assert (res.get("iBridge efficiency-policy", "throughput")
+            > res.get("stock", "throughput"))

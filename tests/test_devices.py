@@ -1,0 +1,179 @@
+"""Unit tests for the HDD and SSD device models."""
+
+import pytest
+
+from repro.config import HDDConfig, SSDConfig
+from repro.devices import HardDisk, Op, SeekCurve, SolidStateDrive
+from repro.devices.calibration import derive_ssd_setup, table2_corners
+from repro.errors import ConfigError, StorageError
+from repro.units import GiB, KiB, MiB
+
+
+# ---------------------------------------------------------------- seek curve
+def test_seek_curve_zero_distance_is_free():
+    curve = SeekCurve(0.001, 0.01, 1000)
+    assert curve(0) == 0.0
+
+
+def test_seek_curve_monotone_and_concave():
+    cap = 1024 * GiB
+    curve = SeekCurve(0.00015, 0.0085, cap)
+    d1, d2, d4 = curve(cap // 8), curve(cap // 4), curve(cap // 2)
+    assert d1 < d2 < d4
+    # Concavity: doubling the distance less than doubles the added time.
+    assert (d2 - curve.base) < 2 * (d1 - curve.base)
+
+
+def test_seek_curve_full_stroke_matches_config():
+    cap = 1024 * GiB
+    curve = SeekCurve(0.00015, 0.0085, cap)
+    assert curve(cap) == pytest.approx(0.0085)
+
+
+def test_seek_curve_mean_random_between_base_and_full():
+    curve = SeekCurve(0.00015, 0.0085, 1024 * GiB)
+    assert curve.base < curve.mean_random() < curve.full
+
+
+# ---------------------------------------------------------------- HDD
+def test_hdd_sequential_read_is_pure_transfer():
+    disk = HardDisk()
+    t1 = disk.serve(Op.READ, 10 * GiB, 64 * KiB)    # first request seeks
+    t2 = disk.serve(Op.READ, 10 * GiB + 64 * KiB, 64 * KiB)  # contiguous
+    assert t2 == pytest.approx(64 * KiB / disk.config.seq_read_bw)
+    assert t1 > t2
+
+
+def test_hdd_random_read_pays_positioning():
+    disk = HardDisk()
+    disk.serve(Op.READ, 0, 4 * KiB)
+    t = disk.serve(Op.READ, 500 * GiB, 4 * KiB)
+    assert t > disk.config.rotational_miss
+
+
+def test_hdd_random_write_pays_settle_penalty():
+    cfg = HDDConfig()
+    read_disk, write_disk = HardDisk(cfg), HardDisk(cfg)
+    read_disk.serve(Op.READ, 0, 4 * KiB)
+    write_disk.serve(Op.WRITE, 0, 4 * KiB)
+    tr = read_disk.serve(Op.READ, 500 * GiB, 4 * KiB)
+    tw = write_disk.serve(Op.WRITE, 500 * GiB, 4 * KiB)
+    assert tw > tr + cfg.write_settle * 0.9
+
+
+def test_hdd_sequential_write_has_no_settle():
+    disk = HardDisk()
+    disk.serve(Op.WRITE, 0, 64 * KiB)
+    t = disk.serve(Op.WRITE, 64 * KiB, 64 * KiB)
+    assert t == pytest.approx(64 * KiB / disk.config.seq_write_bw)
+
+
+def test_hdd_estimate_does_not_move_head():
+    disk = HardDisk()
+    disk.serve(Op.READ, 0, 4 * KiB)
+    head = disk.head
+    disk.estimate_service_time(Op.READ, 100 * GiB, 4 * KiB)
+    assert disk.head == head
+
+
+def test_hdd_seek_time_grows_with_distance():
+    disk = HardDisk()
+    disk.serve(Op.READ, 0, 4 * KiB)
+    near = disk.estimate_service_time(Op.READ, 1 * GiB, 4 * KiB)
+    far = disk.estimate_service_time(Op.READ, 900 * GiB, 4 * KiB)
+    assert far > near
+
+
+def test_hdd_out_of_range_rejected():
+    disk = HardDisk()
+    with pytest.raises(StorageError):
+        disk.serve(Op.READ, disk.capacity - 1024, 4 * KiB)
+    with pytest.raises(StorageError):
+        disk.serve(Op.READ, -1, 4 * KiB)
+    with pytest.raises(StorageError):
+        disk.serve(Op.READ, 0, 0)
+
+
+def test_hdd_stats_accumulate():
+    disk = HardDisk()
+    disk.serve(Op.READ, 0, 4 * KiB)
+    disk.serve(Op.WRITE, 10 * GiB, 8 * KiB)
+    assert disk.stats.reads == 1
+    assert disk.stats.writes == 1
+    assert disk.stats.bytes_read == 4 * KiB
+    assert disk.stats.bytes_written == 8 * KiB
+    assert disk.stats.busy_time > 0
+    disk.reset_stats()
+    assert disk.stats.total_requests == 0
+
+
+def test_hdd_config_validation():
+    with pytest.raises(ConfigError):
+        HDDConfig(capacity=0).validate()
+    with pytest.raises(ConfigError):
+        HDDConfig(seek_full=0.0001, seek_base=0.001).validate()
+
+
+# ---------------------------------------------------------------- SSD
+def test_ssd_sequential_matches_bandwidth():
+    ssd = SolidStateDrive()
+    ssd.serve(Op.READ, 0, 64 * KiB)
+    t = ssd.serve(Op.READ, 64 * KiB, 64 * KiB)
+    assert t == pytest.approx(64 * KiB / ssd.config.seq_read_bw)
+
+
+def test_ssd_random_setup_is_distance_independent():
+    ssd = SolidStateDrive()
+    ssd.serve(Op.READ, 0, 4 * KiB)
+    near = ssd.estimate_service_time(Op.READ, 1 * MiB, 4 * KiB)
+    ssd.serve(Op.READ, 0, 4 * KiB)
+    far = ssd.estimate_service_time(Op.READ, 100 * GiB, 4 * KiB)
+    assert near == pytest.approx(far)
+
+
+def test_ssd_much_faster_than_hdd_for_random():
+    ssd, hdd = SolidStateDrive(), HardDisk()
+    ssd.serve(Op.READ, 0, 4 * KiB)
+    hdd.serve(Op.READ, 0, 4 * KiB)
+    t_ssd = ssd.estimate_service_time(Op.READ, 50 * GiB, 4 * KiB)
+    t_hdd = hdd.estimate_service_time(Op.READ, 50 * GiB, 4 * KiB)
+    assert t_hdd / t_ssd > 10
+
+
+def test_ssd_random_write_slower_than_random_read():
+    ssd = SolidStateDrive()
+    ssd.serve(Op.READ, 0, 4 * KiB)
+    tr = ssd.estimate_service_time(Op.READ, 50 * GiB, 4 * KiB)
+    tw = ssd.estimate_service_time(Op.WRITE, 50 * GiB, 4 * KiB)
+    assert tw > tr
+
+
+# ---------------------------------------------------------------- calibration
+def test_derive_ssd_setup_closed_form():
+    setup = derive_ssd_setup(160 * MiB, 60 * MiB, 4 * KiB)
+    # A 4 KiB random op should then achieve exactly 60 MiB/s.
+    t = setup + 4 * KiB / (160 * MiB)
+    assert (4 * KiB / t) / MiB == pytest.approx(60.0)
+
+
+def test_derive_ssd_setup_rejects_inverted_corners():
+    with pytest.raises(ValueError):
+        derive_ssd_setup(30 * MiB, 60 * MiB)
+
+
+def test_ssd_corners_match_table2():
+    """The SSD microbenchmark reproduces the paper's Table II corners."""
+    corners = table2_corners(SolidStateDrive(), requests=500)
+    assert corners["sequential_read"] == pytest.approx(160, rel=0.02)
+    assert corners["sequential_write"] == pytest.approx(140, rel=0.02)
+    assert corners["random_read"] == pytest.approx(60, rel=0.05)
+    assert corners["random_write"] == pytest.approx(30, rel=0.05)
+
+
+def test_hdd_sequential_corners_match_table2():
+    corners = table2_corners(HardDisk(), requests=500)
+    assert corners["sequential_read"] == pytest.approx(85, rel=0.02)
+    assert corners["sequential_write"] == pytest.approx(80, rel=0.02)
+    # Random corners are documented deviations: positioning-dominated.
+    assert corners["random_read"] < 5
+    assert corners["random_write"] < corners["random_read"]

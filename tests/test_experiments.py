@@ -1,0 +1,180 @@
+"""Shape tests for the per-figure experiments at small scale.
+
+These assert the *qualitative* reproduction targets (who wins, in which
+direction) rather than absolute numbers, so they stay robust across
+model recalibration.  Heavier experiments use reduced parameter grids.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get
+from repro.experiments import common as excommon
+
+SMALL = 1 / 320  # 32 MiB working set
+
+
+def test_registry_covers_every_paper_artifact():
+    needed = {"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5",
+              "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+              "fig13"}
+    assert needed <= set(EXPERIMENTS)
+
+
+def test_get_unknown_raises_with_listing():
+    with pytest.raises(KeyError, match="fig4"):
+        get("nope")
+
+
+def test_table1_matches_paper_mix():
+    res = get("table1")(requests=3000)
+    for app, (pu, pr) in __import__(
+            "repro.experiments.table1", fromlist=["PAPER_TABLE1"]
+    ).PAPER_TABLE1.items():
+        assert res.get(app, "unaligned") == pytest.approx(pu, abs=3.0)
+        assert res.get(app, "random") == pytest.approx(pr, abs=2.5)
+
+
+def test_table2_ssd_corners_match():
+    res = get("table2")(requests=400)
+    assert res.get("ssd/sequential_read", "mib_s") == pytest.approx(160, rel=0.03)
+    assert res.get("ssd/random_write", "mib_s") == pytest.approx(30, rel=0.06)
+    assert res.get("hdd/sequential_read", "mib_s") == pytest.approx(85, rel=0.03)
+
+
+def test_fig2a_unaligned_slower_than_aligned():
+    res = get("fig2a")(scale=SMALL, sizes_kib=(64, 65), procs=(16,))
+    assert res.get(16, "s65") < 0.75 * res.get(16, "s64")
+
+
+def test_fig2b_offsets_degrade_throughput():
+    res = get("fig2b")(scale=SMALL, offsets_kib=(0, 10), procs=(16,))
+    assert res.get(16, "off10") < 0.75 * res.get(16, "off0")
+
+
+def test_fig2cde_fragment_sizes_appear():
+    res = get("fig2cde")(scale=SMALL, nprocs=16)
+    aligned_big = res.get("c: 64KiB aligned", "frac_big")
+    unaligned_big = res.get("d: 65KiB", "frac_big")
+    assert aligned_big > 0.5
+    assert unaligned_big < aligned_big
+
+
+def test_fig4_ibridge_beats_stock_for_unaligned():
+    from repro.devices import Op
+    res = get("fig4")(scale=SMALL, nprocs=16, op=Op.WRITE)
+    assert res.get("65KiB/write", "gain") > 20
+    assert res.get("+10KiB/write", "gain") > 50
+    # Aligned access: iBridge changes nothing.
+    assert res.get("+0KiB/write", "gain") == pytest.approx(0.0, abs=2.0)
+
+
+def test_fig5_ibridge_restores_large_dispatches():
+    # Needs enough concurrency for readahead rounding to engage.
+    res = get("fig5")(scale=SMALL, nprocs=64)
+    assert res.get("fraction >= 128 sectors", "frac_big") > 0.3
+    assert res.get("mean sectors", "mean_sectors") > 100
+
+
+def test_fig6_gains_for_both_ops():
+    res = get("fig6")(scale=SMALL, procs=(16,))
+    assert res.get("16/read", "gain") > 5
+    assert res.get("16/write", "gain") > 25
+
+
+def test_fig7_gap_grows_and_ibridge_closes_it():
+    from repro.devices import Op
+    res = get("fig7")(scale=SMALL, nprocs=16, servers=(2, 8), op=Op.WRITE)
+    # Throughput rises with server count in every series.
+    assert res.get("8/write", "aligned") > res.get("2/write", "aligned")
+    assert res.get("8/write", "ibridge") > res.get("2/write", "ibridge")
+    # iBridge recovers a meaningful part of the gap at 8 servers.
+    assert res.get("8/write", "closed") > 15
+
+
+def test_fig8_ior_gains():
+    from repro.devices import Op
+    res = get("fig8")(scale=SMALL, nprocs=16, sizes_kib=(64, 65),
+                      op=Op.WRITE)
+    assert res.get("65KiB/write", "gain") > 20
+    assert abs(res.get("64KiB/write", "gain")) < 5
+
+
+def test_fig9_btio_execution_time_reduced():
+    res = get("fig9")(scale=SMALL, procs=(9, 16), steps=4)
+    for np_ in (9, 16):
+        assert res.get(np_, "reduction") > 25
+
+
+def test_fig10_ibridge_beats_ssd_only():
+    res = get("fig10")(scale=SMALL, procs=(16,), steps=4)
+    # Execution times: disk-only is far worse; iBridge at least matches
+    # the all-SSD system (at small scale the margin is compute-masked).
+    assert res.get(16, "ssd") < 0.7 * res.get(16, "disk")
+    assert res.get(16, "ibridge") <= res.get(16, "ssd") * 1.02
+    # The mechanism: the log removes the SSD's per-command setup cost
+    # that in-place random writes pay (seq vs random SSD write gap).
+    # (iBridge's residual setups come from writeback *reads* of the log,
+    # not from its writes, so the comparison is conservative.)
+    assert res.get(16, "ib_setup") < 0.5 * res.get(16, "ssd_setup")
+
+
+def test_fig11_io_time_grows_as_capacity_shrinks():
+    res = get("fig11")(scale=SMALL, nprocs=16, steps=4,
+                       fractions=(1.2, 0.3, 0.0))
+    io_full = res.get("1.20", "io_time")
+    io_mid = res.get("0.30", "io_time")
+    io_none = res.get("0.00", "io_time")
+    assert io_full < io_mid < io_none
+    assert io_none / io_full > 3
+
+
+def test_table3_service_times_reduced():
+    res = get("table3")(scale=SMALL, requests=200)
+    for app in ("ALEGRA-2744", "CTH", "S3D"):
+        assert res.get(app, "reduction") > 0
+    # S3D's requests are much larger -> much larger service times.
+    assert res.get("S3D", "stock_ms") > 1.5 * res.get("CTH", "stock_ms")
+
+
+def test_fig12_dynamic_beats_stock():
+    res = get("fig12")(scale=SMALL, nprocs=16, steps=4)
+    assert res.get("dynamic", "aggregate") > res.get("stock", "aggregate")
+    assert res.get("dynamic", "aggregate") >= 0.9 * max(
+        res.get("static 1:1", "aggregate"), res.get("static 1:2", "aggregate"))
+
+
+def test_fig13_threshold_monotonicity():
+    res = get("fig13")(scale=SMALL, nprocs=16, thresholds_kib=(10, 20, 40))
+    tps = [res.get(f"{t}KiB", "throughput") for t in (10, 20, 40)]
+    usage = [res.get(f"{t}KiB", "ssd_pct") for t in (10, 20, 40)]
+    assert tps == sorted(tps)
+    assert usage == sorted(usage)
+    assert usage[-1] > 3 * usage[0]
+
+
+def test_fig3_fragments_reduce_throughput():
+    res = get("fig3")(scale=SMALL, ks=(2, 6), nprocs=8)
+    assert res.get(2, "loss_nobarrier") > 0
+    assert res.get(6, "loss_barrier") > 0
+
+
+def test_collective_extension_shapes():
+    res = get("collective")(scale=SMALL, nprocs=16)
+    stock = res.get("stock, independent", "throughput")
+    assert res.get("stock, collective", "throughput") > stock
+    assert res.get("iBridge, independent", "throughput") > stock
+    assert res.get("iBridge, collective", "ssd_pct") < 2.0
+
+
+def test_ablation_policies_and_merging():
+    res = get("ablation")(scale=SMALL, nprocs=16)
+    # The literal policy admits at most as much as the normalized one
+    # (it relies on noise to go positive; see the experiment's notes).
+    assert (res.get("return policy: literal Eq.1", "ssd_pct")
+            <= res.get("iBridge (default)", "ssd_pct") + 0.5)
+    # Removing cross-process merging devastates the stock system.
+    assert (res.get("stock, per-stream merge only", "throughput")
+            < 0.7 * res.get("stock", "throughput"))
+    # Every iBridge variant beats stock on warm unaligned reads.
+    assert (res.get("iBridge (default)", "throughput")
+            > res.get("stock", "throughput"))

@@ -1,0 +1,72 @@
+"""Tests for the experiment infrastructure (common helpers + CLI)."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.experiments.cli import main as cli_main
+from repro.experiments.common import (DEFAULT_SCALE, ExperimentResult,
+                                      base_config, file_bytes, scaled_ibridge)
+from repro.units import GiB, KiB, MiB
+
+
+def test_file_bytes_scales_and_floors():
+    # Large scale: proportional to the paper's 10 GB.
+    assert file_bytes(0.01) == int(10 * GiB * 0.01)
+    # Tiny scale with many procs: floored to min_iterations per rank.
+    floor = 512 * 64 * KiB * 4
+    assert file_bytes(1e-6, nprocs=512, request_size=64 * KiB) == floor
+
+
+def test_base_config_matches_paper_testbed():
+    cfg = base_config()
+    assert cfg.num_servers == 8
+    assert not cfg.ibridge.enabled
+    assert base_config(ibridge=True).ibridge.enabled
+
+
+def test_scaled_ibridge_partitions_proportionally():
+    cfg = scaled_ibridge(base_config(), scale=0.01)
+    assert cfg.ibridge.enabled
+    assert cfg.ibridge.ssd_partition == int(10 * GiB * 0.01)
+    override = scaled_ibridge(base_config(), 0.01, ssd_partition=5 * MiB)
+    assert override.ibridge.ssd_partition == 5 * MiB
+
+
+def test_experiment_result_keyed_values():
+    res = ExperimentResult(name="x", title="T", headers=["k", "v"])
+    res.add_row(["a", 1.0], metric=42.0)
+    assert res.get("a", "metric") == 42.0
+    with pytest.raises(KeyError):
+        res.get("a", "missing")
+    text = str(res)
+    assert "T" in text and "a" in text
+
+
+def test_experiment_result_notes_rendered():
+    res = ExperimentResult(name="x", title="T", headers=["k"])
+    res.add_row(["a"])
+    res.notes.append("hello note")
+    assert "hello note" in str(res)
+
+
+def test_cli_list(capsys):
+    assert cli_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "table3" in out
+
+
+def test_cli_no_args_lists(capsys):
+    assert cli_main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_cli_runs_one_experiment(capsys):
+    assert cli_main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "finished in" in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(KeyError):
+        cli_main(["not-an-experiment"])

@@ -1,0 +1,53 @@
+"""Tests for experiment-result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import result_to_csv, result_to_json, save_result
+from repro.experiments.common import ExperimentResult
+
+
+def make_result():
+    res = ExperimentResult(name="x", title="Title", headers=["k", "v"])
+    res.add_row(["a", 1.5], metric=1.5)
+    res.add_row(["b", 2.5], metric=2.5)
+    res.notes.append("a note")
+    return res
+
+
+def test_csv_roundtrip():
+    text = result_to_csv(make_result())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["k", "v"]
+    assert rows[1] == ["a", "1.5"]
+    assert len(rows) == 3
+
+
+def test_json_contains_everything():
+    payload = json.loads(result_to_json(make_result()))
+    assert payload["name"] == "x"
+    assert payload["headers"] == ["k", "v"]
+    assert payload["rows"] == [["a", 1.5], ["b", 2.5]]
+    assert payload["values"]["a/metric"] == 1.5
+    assert payload["notes"] == ["a note"]
+
+
+def test_save_by_suffix(tmp_path):
+    res = make_result()
+    save_result(res, tmp_path / "out.csv")
+    save_result(res, tmp_path / "out.json")
+    assert (tmp_path / "out.csv").read_text().startswith("k,v")
+    assert json.loads((tmp_path / "out.json").read_text())["name"] == "x"
+    with pytest.raises(ValueError):
+        save_result(res, tmp_path / "out.xlsx")
+
+
+def test_export_real_experiment(tmp_path):
+    from repro.experiments import get
+    res = get("table2")(requests=200)
+    save_result(res, tmp_path / "table2.json")
+    payload = json.loads((tmp_path / "table2.json").read_text())
+    assert any("ssd" in "".join(map(str, row)) for row in payload["rows"])

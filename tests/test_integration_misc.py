@@ -1,0 +1,91 @@
+"""Cross-cutting integration tests: determinism, saturation, harness."""
+
+import pytest
+
+from repro.config import ClusterConfig, ServerConfig
+from repro.devices import Op
+from repro.pfs import Cluster
+from repro.units import KiB, MiB
+from repro.workloads import MpiIoTest, run_workload
+
+
+def test_simulation_is_deterministic_end_to_end():
+    """Same seed, same workload -> bit-identical timing results."""
+    def once():
+        cfg = ClusterConfig(num_servers=4, seed=99).with_ibridge(
+            ssd_partition=16 * MiB)
+        wl = MpiIoTest(nprocs=8, request_size=65 * KiB, file_size=8 * MiB,
+                       op=Op.WRITE)
+        res = run_workload(Cluster(cfg), wl)
+        return res.makespan, res.throughput_mib_s, res.ssd_fraction
+
+    assert once() == once()
+
+
+def test_seed_changes_change_timings():
+    def once(seed):
+        cfg = ClusterConfig(num_servers=4, seed=seed)
+        wl = MpiIoTest(nprocs=8, request_size=65 * KiB, file_size=8 * MiB)
+        return run_workload(Cluster(cfg), wl).makespan
+
+    assert once(1) != once(2)
+
+
+def test_io_depth_limits_server_concurrency():
+    """With io_depth=1 a server serializes jobs: throughput drops."""
+    def once(depth):
+        cfg = ClusterConfig(num_servers=2, client_jitter=0.0,
+                            server=ServerConfig(io_depth=depth))
+        wl = MpiIoTest(nprocs=8, request_size=64 * KiB, file_size=8 * MiB)
+        return run_workload(Cluster(cfg), wl).throughput_mib_s
+
+    assert once(16) > once(1)
+
+
+def test_run_workload_without_drain_skips_writeback():
+    cfg = ClusterConfig(num_servers=2, client_jitter=0.0).with_ibridge(
+        ssd_partition=16 * MiB)
+    cluster = Cluster(cfg)
+    wl = MpiIoTest(nprocs=4, request_size=4 * KiB, file_size=1 * MiB,
+                   op=Op.WRITE)
+    run_workload(cluster, wl, drain=False)
+    dirty = sum(s.ibridge.mapping.dirty_bytes for s in cluster.servers)
+    assert dirty > 0  # data still parked on the SSDs
+    cluster.drain()
+    dirty = sum(s.ibridge.mapping.dirty_bytes for s in cluster.servers)
+    assert dirty == 0
+
+
+def test_more_servers_more_throughput():
+    def once(ns):
+        cfg = ClusterConfig(num_servers=ns, client_jitter=0.0)
+        wl = MpiIoTest(nprocs=16, request_size=64 * KiB, file_size=16 * MiB)
+        return run_workload(Cluster(cfg), wl).throughput_mib_s
+
+    assert once(8) > 1.5 * once(2)
+
+
+def test_network_bottleneck_caps_throughput():
+    import dataclasses
+    from repro.config import NetworkConfig
+    slow_net = NetworkConfig(bandwidth=10 * MiB)  # starve the wire
+    cfg = ClusterConfig(num_servers=8, network=slow_net, client_jitter=0.0)
+    wl = MpiIoTest(nprocs=16, request_size=64 * KiB, file_size=8 * MiB)
+    res = run_workload(Cluster(cfg), wl)
+    # Eight server NICs at 10 MiB/s bound aggregate read throughput.
+    assert res.throughput_mib_s < 85
+
+
+def test_single_server_single_rank_minimal_system():
+    cfg = ClusterConfig(num_servers=1, client_jitter=0.0)
+    wl = MpiIoTest(nprocs=1, request_size=64 * KiB, file_size=1 * MiB)
+    res = run_workload(Cluster(cfg), wl)
+    assert res.throughput_mib_s > 0
+    assert len(res.requests) == 16
+
+
+def test_fig2_combined_driver_runs():
+    from repro.experiments import get
+    res = get("fig2")(scale=1 / 640)
+    assert len(res.rows) == 3  # three sub-figures summarized
+    assert any("fig2a" in str(r[0]) for r in res.rows)

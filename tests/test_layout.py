@@ -1,0 +1,111 @@
+"""Tests for the striping layout (global ↔ server-local mapping)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.pfs.layout import StripeLayout
+from repro.units import KiB
+
+UNIT = 64 * KiB
+
+
+def test_server_of_round_robin():
+    layout = StripeLayout(UNIT, 8)
+    for stripe in range(20):
+        assert layout.server_of(stripe * UNIT) == stripe % 8
+
+
+def test_local_offset_packs_stripes():
+    layout = StripeLayout(UNIT, 8)
+    # Stripe 8 is server 0's second stripe: local offset one unit.
+    assert layout.local_offset(8 * UNIT) == UNIT
+    assert layout.local_offset(8 * UNIT + 100) == UNIT + 100
+
+
+def test_aligned_predicate():
+    layout = StripeLayout(UNIT, 8)
+    assert layout.is_aligned(0, UNIT)
+    assert layout.is_aligned(UNIT * 3, UNIT * 2)
+    assert not layout.is_aligned(1, UNIT)
+    assert not layout.is_aligned(0, UNIT + 1)
+
+
+def test_split_single_stripe():
+    layout = StripeLayout(UNIT, 8)
+    pieces = layout.split(0, UNIT)
+    assert len(pieces) == 1
+    assert pieces[0].server == 0
+    assert pieces[0].nbytes == UNIT
+
+
+def test_split_unaligned_65k_produces_two_pieces():
+    layout = StripeLayout(UNIT, 8)
+    pieces = layout.split(65 * KiB, 65 * KiB)  # request 1 of Pattern II
+    assert len(pieces) == 2
+    assert sum(p.nbytes for p in pieces) == 65 * KiB
+    sizes = sorted(p.nbytes for p in pieces)
+    assert sizes == [2 * KiB, 63 * KiB]
+
+
+def test_split_offset_request_spans_two_servers():
+    layout = StripeLayout(UNIT, 8)
+    pieces = layout.split(10 * KiB, UNIT)  # Pattern III, +10KB
+    assert len(pieces) == 2
+    assert {p.server for p in pieces} == {0, 1}
+    assert sorted(p.nbytes for p in pieces) == [10 * KiB, 54 * KiB]
+
+
+def test_split_large_request_coalesces_same_server_stripes():
+    layout = StripeLayout(UNIT, 2)
+    # 4 stripes over 2 servers: each server gets 2 local-contiguous units.
+    pieces = layout.split(0, 4 * UNIT)
+    assert len(pieces) == 2
+    assert all(p.nbytes == 2 * UNIT for p in pieces)
+
+
+def test_split_rejects_bad_args():
+    layout = StripeLayout(UNIT, 8)
+    with pytest.raises(ConfigError):
+        layout.split(0, 0)
+    with pytest.raises(ConfigError):
+        layout.split(-1, UNIT)
+    with pytest.raises(ConfigError):
+        StripeLayout(0, 8)
+    with pytest.raises(ConfigError):
+        StripeLayout(UNIT, 0)
+
+
+def test_total_local_bytes():
+    layout = StripeLayout(UNIT, 4)
+    size = 10 * UNIT + 100  # 10 full stripes + 100 bytes
+    shares = [layout.total_local_bytes(s, size) for s in range(4)]
+    assert sum(shares) == size
+    # Stripes 0,4,8 on server 0; 1,5,9 on 1; 2,6 + tail on 2; 3,7 on 3.
+    assert shares == [3 * UNIT, 3 * UNIT, 2 * UNIT + 100, 2 * UNIT]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(0, 10_000_000), st.integers(1, 1_000_000),
+       st.integers(1, 12))
+def test_property_split_partitions_request(offset, size, nservers):
+    """Pieces exactly cover the request with correct address mapping."""
+    layout = StripeLayout(UNIT, nservers)
+    pieces = layout.split(offset, size)
+    assert sum(p.nbytes for p in pieces) == size
+    # Every piece's global range maps back to its server/local offset.
+    for p in pieces:
+        assert layout.server_of(p.global_offset) == p.server
+        assert layout.local_offset(p.global_offset) == p.local_offset
+    # Global offsets are unique and ordered coverage.
+    covered = sorted((p.global_offset, p.global_offset + 0) for p in pieces)
+    assert len({c[0] for c in covered}) == len(pieces)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 4_000_000), st.integers(1, 12))
+def test_property_local_shares_sum_to_file(size, nservers):
+    layout = StripeLayout(UNIT, nservers)
+    assert sum(layout.total_local_bytes(s, size)
+               for s in range(nservers)) == size

@@ -1,0 +1,127 @@
+"""Tests for the extent allocator and the per-server LocalStore."""
+
+import pytest
+
+from repro.errors import AllocationError, StorageError
+from repro.localfs import Extent, ExtentAllocator, LocalStore, split_ranges
+from repro.units import KiB, MiB
+
+
+# ---------------------------------------------------------------- allocator
+def test_allocator_sequential_extents_are_contiguous():
+    alloc = ExtentAllocator(1 * MiB)
+    a = alloc.allocate(4 * KiB)
+    b = alloc.allocate(8 * KiB)
+    assert b.lbn == a.end
+    assert alloc.used == 12 * KiB
+
+
+def test_allocator_out_of_space():
+    alloc = ExtentAllocator(16 * KiB)
+    alloc.allocate(12 * KiB)
+    with pytest.raises(AllocationError):
+        alloc.allocate(8 * KiB)
+
+
+def test_allocator_reserve_region():
+    alloc = ExtentAllocator(1 * MiB, start=64 * KiB)
+    ext = alloc.allocate(4 * KiB)
+    assert ext.lbn == 64 * KiB
+
+
+def test_allocator_invalid_args():
+    with pytest.raises(AllocationError):
+        ExtentAllocator(0)
+    alloc = ExtentAllocator(1 * MiB)
+    with pytest.raises(AllocationError):
+        alloc.allocate(0)
+
+
+def test_allocator_contiguous_with():
+    alloc = ExtentAllocator(1 * MiB)
+    a = alloc.allocate(4 * KiB)
+    assert alloc.contiguous_with(a)
+    alloc.allocate(4 * KiB)
+    assert not alloc.contiguous_with(a)
+
+
+def test_split_ranges():
+    out = split_ranges([Extent(0, 10 * KiB)], 4 * KiB)
+    assert [(e.lbn, e.length) for e in out] == [
+        (0, 4 * KiB), (4 * KiB, 4 * KiB), (8 * KiB, 2 * KiB)]
+    with pytest.raises(AllocationError):
+        split_ranges([], 0)
+
+
+# ---------------------------------------------------------------- store
+def test_store_preallocate_contiguous():
+    store = LocalStore(1 * MiB)
+    store.preallocate(handle=1, nbytes=256 * KiB)
+    ranges = store.ranges_for_read(1, 0, 256 * KiB)
+    assert ranges == [(0, 256 * KiB)]
+
+
+def test_store_sequential_writes_coalesce():
+    store = LocalStore(1 * MiB)
+    store.ranges_for_write(1, 0, 4 * KiB)
+    store.ranges_for_write(1, 4 * KiB, 4 * KiB)
+    assert store.ranges_for_read(1, 0, 8 * KiB) == [(0, 8 * KiB)]
+
+
+def test_store_interleaved_files_fragment():
+    store = LocalStore(1 * MiB)
+    store.ranges_for_write(1, 0, 4 * KiB)
+    store.ranges_for_write(2, 0, 4 * KiB)
+    store.ranges_for_write(1, 4 * KiB, 4 * KiB)
+    # Handle 1's two pieces are separated by handle 2's extent.
+    ranges = store.ranges_for_read(1, 0, 8 * KiB)
+    assert len(ranges) == 2
+
+
+def test_store_read_of_hole_rejected():
+    store = LocalStore(1 * MiB)
+    store.ranges_for_write(1, 0, 4 * KiB)
+    with pytest.raises(StorageError):
+        store.ranges_for_read(1, 0, 8 * KiB)
+    with pytest.raises(StorageError):
+        store.ranges_for_read(2, 0, 4 * KiB)
+
+
+def test_store_write_fills_hole_with_new_extent():
+    store = LocalStore(1 * MiB)
+    store.ranges_for_write(1, 0, 4 * KiB)
+    store.ranges_for_write(1, 8 * KiB, 4 * KiB)   # leaves a hole at 4-8K
+    store.ranges_for_write(1, 4 * KiB, 4 * KiB)   # fills it (non-contiguous)
+    assert store.file_size(1) == 12 * KiB
+    assert len(store.ranges_for_read(1, 0, 12 * KiB)) >= 2
+
+
+def test_store_rewrite_reuses_extents():
+    store = LocalStore(1 * MiB)
+    store.ranges_for_write(1, 0, 8 * KiB)
+    before = store.allocator.used
+    ranges = store.ranges_for_write(1, 0, 8 * KiB)
+    assert store.allocator.used == before
+    assert ranges == [(0, 8 * KiB)]
+
+
+def test_store_partial_overlap_write_allocates_only_gap():
+    store = LocalStore(1 * MiB)
+    store.ranges_for_write(1, 0, 8 * KiB)
+    store.ranges_for_write(1, 4 * KiB, 8 * KiB)
+    assert store.file_size(1) == 12 * KiB
+
+
+def test_store_preallocate_twice_rejected():
+    store = LocalStore(1 * MiB)
+    store.preallocate(1, 4 * KiB)
+    with pytest.raises(StorageError):
+        store.preallocate(1, 4 * KiB)
+
+
+def test_store_reserve_excludes_region():
+    store = LocalStore(1 * MiB, reserve=512 * KiB)
+    ranges = store.ranges_for_write(1, 0, 4 * KiB)
+    assert ranges[0][0] == 512 * KiB
+    with pytest.raises(StorageError):
+        LocalStore(1 * MiB, reserve=1 * MiB)

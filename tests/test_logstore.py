@@ -1,0 +1,121 @@
+"""Tests for the log-structured SSD store."""
+
+import pytest
+
+from repro.core.logstore import LogStore
+from repro.errors import StorageError
+from repro.units import KiB, MiB
+
+
+def make_log(region=1 * MiB, seg=256 * KiB):
+    return LogStore(base=0, region=region, segment_size=seg)
+
+
+def test_appends_are_sequential():
+    log = make_log()
+    lbns = [log.append(10 * KiB) for _ in range(5)]
+    assert lbns == sorted(lbns)
+    assert lbns[1] == lbns[0] + 10 * KiB
+
+
+def test_append_crosses_segment_boundary():
+    log = make_log(region=512 * KiB, seg=128 * KiB)
+    log.append(100 * KiB)
+    lbn = log.append(100 * KiB)  # does not fit segment 0
+    assert lbn == 128 * KiB  # starts at segment 1
+    assert log.free_segments == 2
+
+
+def test_invalidate_frees_empty_segment():
+    log = make_log(region=512 * KiB, seg=128 * KiB)
+    a = log.append(100 * KiB)          # segment 0
+    b = log.append(100 * KiB)          # segment 1 becomes current
+    free_before = log.free_segments
+    log.invalidate(a)                  # segment 0 now empty, non-current
+    assert log.free_segments == free_before + 1
+    with pytest.raises(StorageError):
+        log.invalidate(a)
+    # Invalidating within the *current* segment never recycles it.
+    log.invalidate(b)
+    assert log.free_segments == free_before + 1
+
+
+def test_live_bytes_accounting():
+    log = make_log()
+    a = log.append(10 * KiB)
+    log.append(20 * KiB)
+    assert log.live_bytes == 30 * KiB
+    log.invalidate(a)
+    assert log.live_bytes == 20 * KiB
+
+
+def test_oversized_append_rejected():
+    log = make_log(region=512 * KiB, seg=128 * KiB)
+    with pytest.raises(StorageError):
+        log.append(256 * KiB)
+    with pytest.raises(StorageError):
+        log.append(0)
+
+
+def test_out_of_segments_raises():
+    log = make_log(region=512 * KiB, seg=256 * KiB)
+    log.append(200 * KiB)
+    log.append(200 * KiB)
+    with pytest.raises(StorageError):
+        log.append(200 * KiB)
+
+
+def test_needs_cleaning_signal():
+    log = make_log(region=512 * KiB, seg=128 * KiB)
+    assert not log.needs_cleaning()
+    for _ in range(4):
+        log.append(128 * KiB)  # consumes all four segments
+    assert log.needs_cleaning()
+
+
+def test_pick_victim_prefers_most_garbage():
+    log = make_log(region=1 * MiB, seg=256 * KiB)
+    seg0 = [log.append(64 * KiB) for _ in range(4)]   # fills segment 0
+    seg1 = [log.append(64 * KiB) for _ in range(4)]   # fills segment 1
+    for lbn in seg0[:3]:
+        log.invalidate(lbn)        # segment 0: 75% garbage
+    log.invalidate(seg1[0])        # segment 1: 25% garbage
+    log.append(1 * KiB)            # move current off segment 1
+    victim = log.pick_victim()
+    assert victim.index == 0
+
+
+def test_relocate_moves_extent_and_cleaning_cycle():
+    log = make_log(region=1 * MiB, seg=256 * KiB)
+    seg0 = [log.append(64 * KiB) for _ in range(4)]
+    log.append(1 * KiB)  # current = segment 1
+    for lbn in seg0[1:]:
+        log.invalidate(lbn)
+    victim = log.pick_victim()
+    assert victim.index == 0
+    live = log.live_extents_in(victim)
+    assert live == [(seg0[0], 64 * KiB)]
+    new_lbn = log.relocate(seg0[0])
+    assert new_lbn != seg0[0]
+    log.release_victim(victim)
+    assert log.cleanings == 1
+    assert victim in log._free or victim.write_cursor == 0
+
+
+def test_release_victim_with_live_data_rejected():
+    log = make_log(region=1 * MiB, seg=256 * KiB)
+    log.append(64 * KiB)
+    log.append(256 * KiB - 64 * KiB)
+    log.append(1 * KiB)
+    victim = log.pick_victim()
+    with pytest.raises(StorageError):
+        log.release_victim(victim)
+
+
+def test_invalid_construction():
+    with pytest.raises(StorageError):
+        LogStore(0, 0)
+    with pytest.raises(StorageError):
+        LogStore(0, 100, segment_size=200)
+    with pytest.raises(StorageError):
+        LogStore(0, 100, segment_size=100)  # only one segment

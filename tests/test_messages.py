@@ -1,0 +1,40 @@
+"""Tests for protocol message objects."""
+
+import pytest
+
+from repro.devices import Op
+from repro.pfs.messages import ParentRequest, SubRequest
+
+
+def test_parent_latency_requires_both_timestamps():
+    req = ParentRequest(op=Op.READ, handle=1, offset=0, nbytes=10, rank=0)
+    assert req.latency is None
+    req.submit_time = 1.0
+    assert req.latency is None
+    req.complete_time = 3.5
+    assert req.latency == pytest.approx(2.5)
+
+
+def test_request_ids_unique():
+    a = ParentRequest(op=Op.READ, handle=1, offset=0, nbytes=1, rank=0)
+    b = ParentRequest(op=Op.READ, handle=1, offset=0, nbytes=1, rank=0)
+    assert a.id != b.id
+
+
+def test_subrequest_geometry():
+    sub = SubRequest(parent_id=1, op=Op.WRITE, handle=2, server=3,
+                     local_offset=100, nbytes=50, rank=4)
+    assert sub.local_end == 150
+    assert not sub.is_small
+
+
+def test_subrequest_small_flags():
+    frag = SubRequest(parent_id=1, op=Op.READ, handle=1, server=0,
+                      local_offset=0, nbytes=10, rank=0, is_fragment=True)
+    rand = SubRequest(parent_id=1, op=Op.READ, handle=1, server=0,
+                      local_offset=0, nbytes=10, rank=0, is_random=True)
+    assert frag.is_small and rand.is_small
+
+
+def test_op_is_write():
+    assert Op.WRITE.is_write and not Op.READ.is_write

@@ -1,0 +1,67 @@
+"""Focused tests for the metadata server's T-value exchange."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.pfs import Cluster
+from repro.units import KiB, MiB
+
+
+def busy_cluster(report_period=0.05):
+    cfg = ClusterConfig(num_servers=3, client_jitter=0.0).with_ibridge(
+        ssd_partition=8 * MiB, report_period=report_period)
+    cluster = Cluster(cfg)
+    return cluster
+
+
+def generate_traffic(cluster, seconds=0.5):
+    handle = cluster.create_file(8 * MiB)
+    client = cluster.client(0)
+
+    def traffic(env):
+        i = 0
+        while env.now < seconds:
+            yield client.read(handle, (i % 64) * 64 * KiB, 64 * KiB, rank=0)
+            i += 1
+
+    proc = cluster.env.process(traffic(cluster.env))
+    cluster.env.run(until=proc)
+
+
+def test_mds_collects_current_t_values():
+    cluster = busy_cluster()
+    generate_traffic(cluster)
+    for server in cluster.servers:
+        assert cluster.mds.current_t(server.id) is not None
+
+
+def test_mds_unknown_server_is_none():
+    cluster = busy_cluster()
+    assert cluster.mds.current_t(99) is None
+
+
+def test_broadcast_periodicity():
+    cluster = busy_cluster(report_period=0.1)
+    generate_traffic(cluster, seconds=0.65)
+    # ~6 periods elapsed: the broadcast count should be in that range.
+    assert 3 <= cluster.mds.broadcasts <= 8
+
+
+def test_no_exchange_daemon_without_ibridge():
+    cluster = Cluster(ClusterConfig(num_servers=2, client_jitter=0.0))
+    handle = cluster.create_file(1 * MiB)
+    client = cluster.client(0)
+    done = client.read(handle, 0, 64 * KiB, rank=0)
+    cluster.env.run(until=done)
+    cluster.env.run(until=cluster.env.now + 2.0)
+    assert cluster.mds.broadcasts == 0
+
+
+def test_broadcast_values_track_server_t():
+    cluster = busy_cluster(report_period=0.05)
+    generate_traffic(cluster)
+    server = cluster.servers[0]
+    # The MDS's stored report should match a recently reported T value
+    # to within EWMA drift since the last period.
+    reported = cluster.mds.current_t(0)
+    assert reported == pytest.approx(server.t_value, rel=2.0)

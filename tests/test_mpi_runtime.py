@@ -1,0 +1,99 @@
+"""Tests for the simulated MPI runtime."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import WorkloadError
+from repro.mpi import MPIRun
+from repro.pfs import Cluster
+from repro.units import KiB, MiB
+
+
+def small_cluster(**kw):
+    return Cluster(ClusterConfig(num_servers=2, client_jitter=0.0, **kw))
+
+
+def test_ranks_run_and_complete():
+    cluster = small_cluster()
+    handle = cluster.create_file(1 * MiB)
+    seen = []
+
+    def body(ctx):
+        got = yield ctx.read_at(handle, ctx.rank * 64 * KiB, 64 * KiB)
+        seen.append((ctx.rank, got.nbytes))
+
+    run = MPIRun(cluster, nprocs=4)
+    run.run_to_completion(body)
+    assert sorted(r for r, _ in seen) == [0, 1, 2, 3]
+    assert all(n == 64 * KiB for _, n in seen)
+
+
+def test_barrier_synchronizes_ranks():
+    cluster = small_cluster()
+    handle = cluster.create_file(1 * MiB)
+    after_barrier = []
+
+    def body(ctx):
+        # Rank 0 does extra I/O first; the barrier makes everyone wait.
+        if ctx.rank == 0:
+            for i in range(4):
+                yield ctx.read_at(handle, i * 64 * KiB, 64 * KiB)
+        yield ctx.barrier()
+        after_barrier.append((ctx.rank, ctx.env.now))
+
+    run = MPIRun(cluster, nprocs=3)
+    run.run_to_completion(body)
+    times = [t for _r, t in after_barrier]
+    assert max(times) == pytest.approx(min(times))
+
+
+def test_compute_advances_time_without_io():
+    cluster = small_cluster()
+
+    def body(ctx):
+        yield ctx.compute(1.5)
+
+    run = MPIRun(cluster, nprocs=2)
+    end = run.run_to_completion(body)
+    assert end == pytest.approx(1.5)
+
+
+def test_write_then_read_roundtrip():
+    cluster = small_cluster()
+    handle = cluster.create_file(1 * MiB, preallocate=False)
+
+    def body(ctx):
+        yield ctx.write_at(handle, ctx.rank * 128 * KiB, 128 * KiB)
+        yield ctx.read_at(handle, ctx.rank * 128 * KiB, 128 * KiB)
+
+    run = MPIRun(cluster, nprocs=2)
+    run.run_to_completion(body)
+    assert len(cluster.requests) == 4
+
+
+def test_client_nodes_pack_ranks():
+    cluster = small_cluster()
+    run = MPIRun(cluster, nprocs=8, client_nodes=2)
+    ctxs = [__import__("repro.mpi.runtime", fromlist=["RankContext"])
+            .RankContext(run, r) for r in range(8)]
+    names = {c._client.name for c in ctxs}
+    assert names == {"client0", "client1"}
+
+
+def test_invalid_nprocs():
+    cluster = small_cluster()
+    with pytest.raises(WorkloadError):
+        MPIRun(cluster, nprocs=0)
+
+
+def test_rank_requests_recorded_with_latency():
+    cluster = small_cluster()
+    handle = cluster.create_file(1 * MiB)
+
+    def body(ctx):
+        yield ctx.read_at(handle, 0, 64 * KiB)
+
+    MPIRun(cluster, nprocs=1).run_to_completion(body)
+    (req,) = cluster.requests
+    assert req.latency is not None and req.latency > 0
+    assert req.rank == 0

@@ -1,0 +1,96 @@
+"""Tests for the multi-disk-per-server extension (paper §II)."""
+
+import pytest
+
+from repro.config import ClusterConfig, ServerConfig
+from repro.devices import Op
+from repro.errors import ConfigError
+from repro.pfs import Cluster
+from repro.units import KiB, MiB
+from repro.workloads import MpiIoTest, run_workload
+
+
+def multi_cfg(ndisks=2, ibridge=False):
+    cfg = ClusterConfig(num_servers=2, client_jitter=0.0,
+                        server=ServerConfig(disks_per_server=ndisks))
+    if ibridge:
+        cfg = cfg.with_ibridge(ssd_partition=16 * MiB)
+    return cfg
+
+
+def test_disks_per_server_validated():
+    with pytest.raises(ConfigError):
+        ServerConfig(disks_per_server=0).validate()
+
+
+def test_handles_spread_across_disks():
+    cluster = Cluster(multi_cfg(ndisks=2))
+    h1 = cluster.create_file(1 * MiB)
+    h2 = cluster.create_file(1 * MiB)
+    server = cluster.servers[0]
+    assert server._disk_of(h1) is not server._disk_of(h2)
+    # Each file's local data lives entirely on its assigned disk.
+    assert server._disk_of(h1).store.file_size(h1) > 0
+    assert server._disk_of(h2).store.file_size(h1) == 0
+
+
+def test_io_reaches_the_assigned_disk_only():
+    cluster = Cluster(multi_cfg(ndisks=2))
+    handle = cluster.create_file(1 * MiB)
+    client = cluster.client(0)
+    done = client.read(handle, 0, 128 * KiB, rank=0)
+    cluster.env.run(until=done)
+    server = cluster.servers[0]
+    unit = server._disk_of(handle)
+    other = [u for u in server.disks if u is not unit][0]
+    assert unit.hdd.stats.reads > 0
+    assert other.hdd.stats.reads == 0
+
+
+def test_two_files_on_two_disks_run_concurrently():
+    """Two single-file workloads on separate disks beat them sharing one."""
+    def run_with(ndisks):
+        cluster = Cluster(multi_cfg(ndisks=ndisks))
+        wl = MpiIoTest(nprocs=8, request_size=64 * KiB, file_size=8 * MiB)
+        return run_workload(cluster, wl).throughput_mib_s
+
+    # A single shared file cannot use the second disk, so equal-ish.
+    assert run_with(2) == pytest.approx(run_with(1), rel=0.35)
+
+
+def test_ibridge_per_disk_managers():
+    cluster = Cluster(multi_cfg(ndisks=2, ibridge=True))
+    server = cluster.servers[0]
+    managers = [u.ibridge for u in server.disks]
+    assert all(m is not None for m in managers)
+    assert managers[0] is not managers[1]
+    # Disjoint log regions on the shared SSD.
+    logs = [m._log for m in managers if m._log is not None]
+    if len(logs) == 2:
+        a, b = logs
+        assert (a.base + a.region <= b.base) or (b.base + b.region <= a.base)
+
+
+def test_ibridge_redirect_works_on_second_disk():
+    cluster = Cluster(multi_cfg(ndisks=2, ibridge=True))
+    client = cluster.client(0)
+    # Create files until one maps to disk 1 of server 0.
+    server = cluster.servers[0]
+    handle = cluster.create_file(1 * MiB, preallocate=False)
+    while handle % 2 != 1:
+        handle = cluster.create_file(1 * MiB, preallocate=False)
+    done = client.write(handle, 0, 4 * KiB, rank=0)
+    cluster.env.run(until=done)
+    unit = server._disk_of(handle)
+    assert unit.ibridge.stats.ssd_redirected_writes == 1
+    cluster.drain()
+    assert unit.ibridge.mapping.dirty_bytes == 0
+
+
+def test_t_value_is_slowest_disk():
+    cluster = Cluster(multi_cfg(ndisks=2, ibridge=True))
+    server = cluster.servers[0]
+    m0, m1 = (u.ibridge for u in server.disks)
+    m0.model._t = 0.5
+    m1.model._t = 0.1
+    assert server.t_value == 0.5

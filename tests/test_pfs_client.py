@@ -1,0 +1,90 @@
+"""Tests for client-side splitting and fragment flagging."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.devices import Op
+from repro.pfs import Cluster
+from repro.pfs.messages import ParentRequest
+from repro.units import KiB, MiB
+
+
+def make_client(ibridge=True, **kw):
+    cfg = ClusterConfig(num_servers=8, client_jitter=0.0, **kw)
+    if ibridge:
+        cfg = cfg.with_ibridge(ssd_partition=8 * MiB)
+    cluster = Cluster(cfg)
+    return cluster, cluster.client(0)
+
+
+def parent(offset, nbytes, op=Op.READ):
+    return ParentRequest(op=op, handle=1, offset=offset, nbytes=nbytes, rank=0)
+
+
+def test_aligned_request_single_unflagged_sub():
+    _c, client = make_client()
+    subs = client.split(parent(0, 64 * KiB))
+    assert len(subs) == 1
+    assert not subs[0].is_fragment and not subs[0].is_random
+    assert subs[0].sibling_servers == ()
+
+
+def test_unaligned_65k_flags_small_piece():
+    _c, client = make_client()
+    subs = client.split(parent(65 * KiB, 65 * KiB))
+    frags = [s for s in subs if s.is_fragment]
+    assert len(frags) == 1
+    assert frags[0].nbytes == 2 * KiB
+    assert frags[0].sibling_servers == tuple(
+        s.server for s in subs if s is not frags[0])
+
+
+def test_both_pieces_large_no_flags():
+    _c, client = make_client()
+    # Offset 32K: pieces 32K/32K, both above the 20K threshold.
+    subs = client.split(parent(32 * KiB, 64 * KiB))
+    assert len(subs) == 2
+    assert not any(s.is_fragment for s in subs)
+
+
+def test_small_whole_request_flagged_random():
+    _c, client = make_client()
+    subs = client.split(parent(0, 4 * KiB))
+    assert len(subs) == 1
+    assert subs[0].is_random and not subs[0].is_fragment
+
+
+def test_no_flags_when_ibridge_disabled():
+    _c, client = make_client(ibridge=False)
+    subs = client.split(parent(65 * KiB, 65 * KiB))
+    assert not any(s.is_fragment or s.is_random for s in subs)
+    subs = client.split(parent(0, 4 * KiB))
+    assert not subs[0].is_random
+
+
+def test_large_multi_server_request_flags_only_small_pieces():
+    _c, client = make_client()
+    subs = client.split(parent(1 * KiB, 129 * KiB))  # 63K + 64K + 2K
+    sizes = sorted(s.nbytes for s in subs)
+    assert sizes == [2 * KiB, 63 * KiB, 64 * KiB]
+    assert [s.nbytes for s in subs if s.is_fragment] == [2 * KiB]
+
+
+def test_request_complete_only_when_slowest_sub_done():
+    cluster, client = make_client(ibridge=False)
+    handle = cluster.create_file(4 * MiB)
+    done = client.read(handle, 10 * KiB, 64 * KiB, rank=0)  # 2 servers
+    req = cluster.env.run(until=done)
+    assert req.latency is not None
+    # Both servers saw work.
+    busy = [s for s in cluster.servers if s.stats.jobs > 0]
+    assert len(busy) == 2
+
+
+def test_requests_collected_on_cluster():
+    cluster, client = make_client(ibridge=False)
+    handle = cluster.create_file(4 * MiB)
+    done = client.write(handle, 0, 64 * KiB, rank=3)
+    cluster.env.run(until=done)
+    assert len(cluster.requests) == 1
+    assert cluster.requests[0].rank == 3

@@ -1,0 +1,42 @@
+"""Tests for offline seek-curve profiling."""
+
+import pytest
+
+from repro.config import HDDConfig
+from repro.devices import HardDisk, Op, profile_device
+from repro.units import GiB, KiB
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_device(HardDisk(), points=24)
+
+
+def test_profile_recovers_positioning_times(profile):
+    """The fitted curve predicts the model's actual positioning cost."""
+    disk = HardDisk()
+    disk.serve(Op.READ, 0, 4 * KiB)
+    for dist in (1 * GiB, 10 * GiB, 100 * GiB, 500 * GiB):
+        actual = disk.positioning_time(Op.READ, disk.head + dist, 4 * KiB)
+        predicted = profile.positioning(dist)
+        assert predicted == pytest.approx(actual, rel=0.15)
+
+
+def test_profile_write_penalty_close_to_model(profile):
+    cfg = HDDConfig()
+    assert profile.write_penalty == pytest.approx(cfg.write_settle, rel=0.2)
+
+
+def test_profile_zero_distance_free(profile):
+    assert profile.positioning(0) == 0.0
+
+
+def test_profile_monotone_in_distance(profile):
+    times = [profile.positioning(d) for d in (1 * GiB, 8 * GiB, 64 * GiB, 512 * GiB)]
+    assert times == sorted(times)
+
+
+def test_profile_requires_enough_points():
+    from repro.errors import StorageError
+    with pytest.raises(StorageError):
+        profile_device(HardDisk(), points=2)

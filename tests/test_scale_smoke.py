@@ -1,0 +1,43 @@
+"""Smoke tests at the paper's largest configuration sizes.
+
+Kept small in bytes but large in entity counts (ranks, streams,
+servers) to catch scaling bugs: queue bookkeeping, barrier fan-in,
+stream garbage collection, T-broadcast fan-out.
+"""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.devices import Op
+from repro.pfs import Cluster
+from repro.units import KiB, MiB
+from repro.workloads import MpiIoTest, run_workload
+
+
+@pytest.mark.parametrize("nprocs", [256, 512])
+def test_many_ranks_complete(nprocs):
+    cfg = ClusterConfig(num_servers=8)
+    wl = MpiIoTest(nprocs=nprocs, request_size=65 * KiB,
+                   file_size=nprocs * 65 * KiB * 4, op=Op.READ)
+    res = run_workload(Cluster(cfg), wl)
+    assert len(res.requests) == nprocs * 4
+    assert res.throughput_mib_s > 0
+
+
+def test_many_ranks_with_ibridge_and_barrier():
+    cfg = ClusterConfig(num_servers=8).with_ibridge(ssd_partition=32 * MiB)
+    wl = MpiIoTest(nprocs=128, request_size=65 * KiB,
+                   file_size=128 * 65 * KiB * 4, op=Op.WRITE,
+                   use_barrier=True)
+    res = run_workload(Cluster(cfg), wl)
+    assert res.ssd_fraction > 0.05
+    assert len(res.requests) == 128 * 4
+
+
+def test_sixteen_servers_all_participate():
+    cfg = ClusterConfig(num_servers=16)
+    cluster = Cluster(cfg)
+    wl = MpiIoTest(nprocs=32, request_size=64 * KiB, file_size=16 * MiB)
+    res = run_workload(cluster, wl)
+    assert res.throughput_mib_s > 0
+    assert all(s.stats.jobs > 0 for s in cluster.servers)

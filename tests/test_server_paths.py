@@ -1,0 +1,81 @@
+"""Server-level path tests not covered elsewhere: SSD-primary mode with
+iBridge-shaped traffic, io_depth interactions, stock read/write paths."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.devices import HardDisk, Op, profile_device
+from repro.errors import StorageError
+from repro.pfs.messages import SubRequest
+from repro.pfs.server import DataServer
+from repro.sim import Environment
+from repro.units import KiB, MiB
+
+
+def make_server(primary="hdd", **cfg_kw):
+    env = Environment()
+    cfg = ClusterConfig(num_servers=2, client_jitter=0.0,
+                        primary_store=primary, **cfg_kw)
+    server = DataServer(env, 0, cfg, profile_device(HardDisk(cfg.hdd)))
+    return env, server
+
+
+def sub(op=Op.READ, offset=0, size=64 * KiB, handle=1, rank=0):
+    return SubRequest(parent_id=1, op=op, handle=handle, server=0,
+                      local_offset=offset, nbytes=size, rank=rank)
+
+
+def serve(env, server, s):
+    done = server.submit(s)
+    env.run(until=done)
+
+
+def test_ssd_primary_serves_from_ssd():
+    env, server = make_server(primary="ssd")
+    server.ssd_store.preallocate(1, 1 * MiB)
+    serve(env, server, sub(op=Op.READ))
+    assert server.ssd.stats.reads == 1
+    assert server.hdd.stats.reads == 0
+
+
+def test_ssd_primary_write_allocates_lazily():
+    env, server = make_server(primary="ssd")
+    serve(env, server, sub(op=Op.WRITE, size=4 * KiB))
+    assert server.ssd.stats.writes == 1
+    assert server.ssd_store.file_size(1) == 4 * KiB
+
+
+def test_hdd_primary_read_of_unwritten_data_fails_loudly():
+    env, server = make_server()
+    done = server.submit(sub(op=Op.READ))
+    with pytest.raises(StorageError):
+        env.run(until=done)
+
+
+def test_job_counters():
+    env, server = make_server()
+    serve(env, server, sub(op=Op.WRITE, size=8 * KiB))
+    serve(env, server, sub(op=Op.READ, size=8 * KiB))
+    assert server.stats.jobs == 2
+    assert server.stats.bytes_written == 8 * KiB
+    assert server.stats.bytes_read == 8 * KiB
+
+
+def test_multi_range_read_after_fragmented_allocation():
+    """A read spanning device-discontiguous extents issues several I/Os."""
+    env, server = make_server()
+    # Interleave two handles so handle 1's extents are split.
+    serve(env, server, sub(op=Op.WRITE, handle=1, offset=0, size=4 * KiB))
+    serve(env, server, sub(op=Op.WRITE, handle=2, offset=0, size=4 * KiB))
+    serve(env, server, sub(op=Op.WRITE, handle=1, offset=4 * KiB,
+                           size=4 * KiB))
+    reads_before = server.hdd.stats.reads
+    serve(env, server, sub(op=Op.READ, handle=1, offset=0, size=8 * KiB))
+    assert server.hdd.stats.reads - reads_before == 2
+
+
+def test_drain_idempotent():
+    env, server = make_server()
+    for _ in range(2):
+        proc = env.process(server.drain(), name="drain")
+        env.run(until=proc)

@@ -1,0 +1,108 @@
+"""Additional edge-case tests for composite events and failure handling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    ev = env.all_of([])
+    assert ev.triggered
+
+
+def test_all_of_fails_fast_on_component_failure():
+    env = Environment()
+    good = env.timeout(5.0)
+    bad = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield env.all_of([good, bad])
+        except ValueError as exc:
+            caught.append((env.now, str(exc)))
+
+    env.process(proc(env))
+    bad.fail(ValueError("component failed"))
+    env.run()
+    assert caught == [(0.0, "component failed")]
+
+
+def test_any_of_failure_propagates():
+    env = Environment()
+    bad = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield env.any_of([env.timeout(5.0), bad])
+        except KeyError:
+            caught.append(env.now)
+
+    env.process(proc(env))
+    bad.fail(KeyError("x"))
+    env.run()
+    assert caught == [0.0]
+
+
+def test_condition_rejects_cross_environment_events():
+    env1, env2 = Environment(), Environment()
+    t = env2.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env1.all_of([t])
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+    t1 = env.timeout(1.0, "a")
+    env.run(until=2.0)
+    assert t1.processed
+    got = []
+
+    def proc(env):
+        result = yield env.all_of([t1, env.timeout(1.0, "b")])
+        got.append(sorted(result.values()))
+
+    env.process(proc(env))
+    env.run()
+    assert got == [["a", "b"]]
+
+
+def test_defused_failure_does_not_escape_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("handled"))
+    ev.defuse()
+    env.run()  # must not raise
+
+
+def test_process_return_value_via_stopiteration():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1.0)
+        return {"answer": 42}
+
+    result = env.run(until=env.process(inner(env)))
+    assert result == {"answer": 42}
+
+
+def test_nested_process_failure_propagates_to_parent():
+    env = Environment()
+    seen = []
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise OSError("disk on fire")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except OSError as exc:
+            seen.append(str(exc))
+
+    env.process(parent(env))
+    env.run()
+    assert seen == ["disk on fire"]

@@ -1,0 +1,251 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event, Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(1.5)
+        log.append(env.now)
+        yield env.timeout(0.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [1.5, 2.0]
+
+
+def test_timeout_value_passed_back():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=3.5)
+    assert env.now == 3.5
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return 42
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 42
+    assert env.now == 2.0
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_to_process():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(proc(env))
+    ev.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_event_failure_raises_from_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_process_exception_fails_process_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise KeyError("inner")
+
+    p = env.process(proc(env))
+    with pytest.raises(KeyError):
+        env.run(until=p)
+
+
+def test_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc(env, "a", 1.0))
+    env.process(proc(env, "b", 1.0))  # same time: creation order wins
+    env.process(proc(env, "c", 0.5))
+    env.run()
+    assert order == ["c", "a", "b"]
+
+
+def test_waiting_on_another_process():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        log.append((env.now, result))
+
+    env.process(parent(env))
+    env.run()
+    assert log == [(2.0, "done")]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        t1, t2 = env.timeout(1.0, "x"), env.timeout(3.0, "y")
+        result = yield env.all_of([t1, t2])
+        times.append(env.now)
+        assert set(result.values()) == {"x", "y"}
+
+    env.process(proc(env))
+    env.run()
+    assert times == [3.0]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        yield env.any_of([env.timeout(5.0), env.timeout(1.0)])
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1.0]
+
+
+def test_interrupt_wakes_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(1.0, "wake up")]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run(until=p)
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+    env.step()
+    assert env.now == 2.0
+    assert env.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_event_value_before_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_callback_after_processed_runs_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("v")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_run_until_past_time_is_error():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)

@@ -1,0 +1,75 @@
+"""Tests for trace file serialization."""
+
+import pytest
+
+from repro.devices import Op
+from repro.errors import WorkloadError
+from repro.workloads.tracefile import (dumps_trace, load_trace, loads_trace,
+                                       save_trace)
+from repro.workloads.traces import TraceRecord, synthesize_trace
+
+
+def test_roundtrip_string():
+    records = [TraceRecord(Op.READ, 0, 4096),
+               TraceRecord(Op.WRITE, 65536, 1024)]
+    assert loads_trace(dumps_trace(records)) == records
+
+
+def test_roundtrip_file(tmp_path):
+    records = synthesize_trace("CTH", requests=50)
+    path = tmp_path / "cth.trace"
+    save_trace(records, path)
+    assert load_trace(path) == records
+
+
+def test_comments_and_blank_lines_skipped():
+    text = "# header\n\nread,0,4096\n  \nwrite,10,20\n"
+    records = loads_trace(text)
+    assert len(records) == 2
+    assert records[1].op is Op.WRITE
+
+
+def test_bad_op_rejected():
+    with pytest.raises(WorkloadError, match="unknown op"):
+        loads_trace("frobnicate,0,4096\n")
+
+
+def test_bad_field_count_rejected():
+    with pytest.raises(WorkloadError, match="expected"):
+        loads_trace("read,0\n")
+
+
+def test_non_integer_rejected():
+    with pytest.raises(WorkloadError, match="non-integer"):
+        loads_trace("read,zero,4096\n")
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(WorkloadError, match="invalid geometry"):
+        loads_trace("read,-1,4096\n")
+    with pytest.raises(WorkloadError, match="invalid geometry"):
+        loads_trace("read,0,0\n")
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(WorkloadError, match="no records"):
+        loads_trace("# nothing here\n")
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(WorkloadError, match="not found"):
+        load_trace(tmp_path / "nope.trace")
+
+
+def test_loaded_trace_is_replayable(tmp_path):
+    from repro.config import ClusterConfig
+    from repro.pfs import Cluster
+    from repro.units import MiB
+    from repro.workloads import TraceReplay, run_workload
+
+    records = synthesize_trace("ALEGRA-2744", requests=20, span=16 * MiB)
+    path = tmp_path / "a.trace"
+    save_trace(records, path)
+    wl = TraceReplay(load_trace(path), span=16 * MiB)
+    res = run_workload(Cluster(ClusterConfig(num_servers=2)), wl)
+    assert len(res.requests) == 20

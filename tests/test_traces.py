@@ -1,0 +1,81 @@
+"""Tests for trace synthesis and the Table I classifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import Op
+from repro.errors import WorkloadError
+from repro.units import GiB, KiB
+from repro.workloads.traces import (APP_PROFILES, TABLE1_UNIT,
+                                    TraceRecord, classify_trace,
+                                    synthesize_trace)
+
+
+def test_all_profiles_present():
+    assert set(APP_PROFILES) == {"ALEGRA-2744", "ALEGRA-5832", "CTH", "S3D"}
+
+
+@pytest.mark.parametrize("app", sorted(APP_PROFILES))
+def test_synthesized_mix_matches_table1(app):
+    trace = synthesize_trace(app, requests=4000)
+    cls = classify_trace(trace)
+    profile = APP_PROFILES[app]
+    assert cls.unaligned_pct == pytest.approx(profile.unaligned_pct, abs=2.5)
+    assert cls.random_pct == pytest.approx(profile.random_pct, abs=2.0)
+
+
+def test_synthesis_is_deterministic():
+    a = synthesize_trace("CTH", requests=100, seed=42)
+    b = synthesize_trace("CTH", requests=100, seed=42)
+    assert a == b
+    c = synthesize_trace("CTH", requests=100, seed=43)
+    assert a != c
+
+
+def test_s3d_requests_are_larger():
+    s3d = synthesize_trace("S3D", requests=2000)
+    cth = synthesize_trace("CTH", requests=2000)
+    mean = lambda t: sum(r.nbytes for r in t) / len(t)
+    assert mean(s3d) > 2 * mean(cth)
+
+
+def test_records_within_span():
+    span = 1 * GiB
+    for rec in synthesize_trace("ALEGRA-2744", requests=500, span=span):
+        assert 0 <= rec.offset
+        assert rec.offset + rec.nbytes <= span
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(WorkloadError):
+        synthesize_trace("NOPE")
+
+
+def test_classifier_rules():
+    unit = TABLE1_UNIT
+    records = [
+        TraceRecord(Op.READ, 0, 4 * KiB),            # random
+        TraceRecord(Op.READ, 0, unit),               # aligned (1 unit)
+        TraceRecord(Op.READ, 0, 2 * unit),           # aligned (2 units)
+        TraceRecord(Op.READ, 1, 2 * unit),           # unaligned (offset)
+        TraceRecord(Op.READ, 0, 2 * unit + 5),       # unaligned (size)
+        TraceRecord(Op.READ, 0, 30 * KiB),           # neither (mid-size)
+    ]
+    cls = classify_trace(records)
+    assert cls.random_pct == pytest.approx(100 / 6)
+    assert cls.unaligned_pct == pytest.approx(200 / 6)
+
+
+def test_classifier_empty_rejected():
+    with pytest.raises(WorkloadError):
+        classify_trace([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**30), st.integers(1, 2**21))
+def test_property_classifier_partitions(offset, size):
+    """Every record is counted in at most one class."""
+    rec = TraceRecord(Op.READ, offset, size)
+    cls = classify_trace([rec])
+    assert cls.total_pct in (0.0, 100.0)

@@ -1,0 +1,33 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.units import (GiB, KiB, MiB, SECTOR, fmt_size, mib_per_s,
+                         to_sectors)
+
+
+def test_constants_are_binary():
+    assert KiB == 1024
+    assert MiB == 1024 ** 2
+    assert GiB == 1024 ** 3
+    assert SECTOR == 512
+
+
+def test_to_sectors_rounds_up():
+    assert to_sectors(512) == 1
+    assert to_sectors(513) == 2
+    assert to_sectors(64 * KiB) == 128
+
+
+def test_mib_per_s():
+    assert mib_per_s(MiB, 1.0) == pytest.approx(1.0)
+    assert mib_per_s(10 * MiB, 2.0) == pytest.approx(5.0)
+    assert mib_per_s(100, 0.0) == 0.0
+    assert mib_per_s(100, -1.0) == 0.0
+
+
+def test_fmt_size():
+    assert fmt_size(64 * KiB) == "64KiB"
+    assert fmt_size(GiB) == "1GiB"
+    assert fmt_size(1536) == "1.5KiB"
+    assert fmt_size(100) == "100B"

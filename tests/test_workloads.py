@@ -1,0 +1,178 @@
+"""Tests for the workload models and the run harness."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.devices import Op
+from repro.errors import WorkloadError
+from repro.pfs import Cluster
+from repro.units import KiB, MiB
+from repro.workloads import (BTIO, IorMpiIo, MpiIoTest, TraceReplay,
+                             btio_request_size, run_workload,
+                             synthesize_trace)
+from repro.workloads.composite import CompositeWorkload
+
+
+def small_cluster(ibridge=False):
+    cfg = ClusterConfig(num_servers=4, client_jitter=0.0)
+    if ibridge:
+        cfg = cfg.with_ibridge(ssd_partition=16 * MiB)
+    return Cluster(cfg)
+
+
+# ---------------------------------------------------------------- mpi-io-test
+def test_mpi_io_test_offsets_follow_paper_formula():
+    wl = MpiIoTest(nprocs=4, request_size=64 * KiB, file_size=4 * MiB)
+    offsets = []
+
+    class FakeCtx:
+        rank = 2
+        def io(self, op, handle, offset, size):
+            offsets.append(offset)
+            return None
+        def barrier(self):  # pragma: no cover
+            return None
+
+    gen = wl.body(FakeCtx())
+    try:
+        while True:
+            next(gen)
+    except StopIteration:
+        pass
+    n, s = 4, 64 * KiB
+    assert offsets == [(k * n + 2) * s for k in range(wl.iterations)]
+
+
+def test_mpi_io_test_runs_and_reports_throughput():
+    cluster = small_cluster()
+    wl = MpiIoTest(nprocs=4, request_size=64 * KiB, file_size=4 * MiB)
+    res = run_workload(cluster, wl)
+    assert res.total_bytes == 4 * MiB
+    assert res.throughput_mib_s > 0
+    assert len(res.requests) == wl.iterations * 4
+
+
+def test_mpi_io_test_write_allocates_file():
+    cluster = small_cluster()
+    wl = MpiIoTest(nprocs=2, request_size=64 * KiB, file_size=2 * MiB,
+                   op=Op.WRITE)
+    res = run_workload(cluster, wl)
+    assert res.total_bytes == 2 * MiB
+
+
+def test_mpi_io_test_rejects_tiny_file():
+    with pytest.raises(WorkloadError):
+        MpiIoTest(nprocs=64, request_size=64 * KiB, file_size=1 * MiB)
+
+
+def test_mpi_io_test_barrier_mode_runs():
+    cluster = small_cluster()
+    wl = MpiIoTest(nprocs=4, request_size=64 * KiB, file_size=2 * MiB,
+                   use_barrier=True)
+    res = run_workload(cluster, wl)
+    assert res.throughput_mib_s > 0
+
+
+# ---------------------------------------------------------------- ior
+def test_ior_chunks_are_private():
+    wl = IorMpiIo(nprocs=4, request_size=64 * KiB, file_size=4 * MiB)
+    assert wl.chunk_size == 1 * MiB
+    assert wl.requests_per_rank == 16
+    assert wl.total_bytes == 4 * MiB
+
+
+def test_ior_runs():
+    cluster = small_cluster()
+    wl = IorMpiIo(nprocs=4, request_size=65 * KiB, file_size=4 * MiB)
+    res = run_workload(cluster, wl)
+    assert res.throughput_mib_s > 0
+
+
+# ---------------------------------------------------------------- btio
+def test_btio_request_size_scaling():
+    assert btio_request_size(9) == 2160
+    assert 600 <= btio_request_size(100) <= 700
+    # Monotone decreasing in nprocs.
+    sizes = [btio_request_size(n) for n in (9, 16, 64, 100)]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_btio_runs_and_time_includes_compute():
+    cluster = small_cluster()
+    wl = BTIO(nprocs=4, steps=2, scale=0.001, compute_per_step=0.5)
+    res = run_workload(cluster, wl)
+    assert res.makespan > 2 * wl.compute_per_step * 0.99
+
+
+def test_btio_all_requests_below_threshold():
+    wl = BTIO(nprocs=16, steps=2, scale=0.001)
+    assert wl.request_size < 20 * KiB
+
+
+def test_btio_ibridge_redirects_nearly_everything():
+    cluster = small_cluster(ibridge=True)
+    wl = BTIO(nprocs=4, steps=2, scale=0.001, compute_per_step=0.01)
+    res = run_workload(cluster, wl)
+    # A handful of early writes may land on disk while T bootstraps.
+    assert res.ssd_fraction > 0.95
+
+
+# ---------------------------------------------------------------- replay
+def test_trace_replay_single_rank():
+    cluster = small_cluster()
+    trace = synthesize_trace("CTH", requests=30, span=16 * MiB)
+    wl = TraceReplay(trace, span=16 * MiB)
+    res = run_workload(cluster, wl)
+    assert len(res.requests) == 30
+    assert res.mean_service_time > 0
+
+
+def test_trace_replay_rejects_empty():
+    with pytest.raises(WorkloadError):
+        TraceReplay([])
+
+
+# ---------------------------------------------------------------- composite
+def test_composite_partitions_ranks():
+    a = MpiIoTest(nprocs=2, request_size=64 * KiB, file_size=1 * MiB)
+    b = MpiIoTest(nprocs=3, request_size=64 * KiB, file_size=1 * MiB)
+    comp = CompositeWorkload([a, b])
+    assert comp.nprocs == 5
+    assert comp.rank_range(0) == range(0, 2)
+    assert comp.rank_range(1) == range(2, 5)
+    assert comp.total_bytes == a.total_bytes + b.total_bytes
+
+
+def test_composite_runs_with_mixed_barriers():
+    cluster = small_cluster()
+    a = MpiIoTest(nprocs=2, request_size=64 * KiB, file_size=1 * MiB)
+    b = BTIO(nprocs=2, steps=2, scale=0.0005, compute_per_step=0.01)
+    comp = CompositeWorkload([a, b])
+    res = run_workload(cluster, comp)
+    assert res.throughput_mib_s > 0
+    # Both parts' requests appear, attributable via rank ranges.
+    ranks_a = {r.rank for r in res.requests if r.rank in comp.rank_range(0)}
+    ranks_b = {r.rank for r in res.requests if r.rank in comp.rank_range(1)}
+    assert ranks_a and ranks_b
+
+
+def test_composite_empty_rejected():
+    with pytest.raises(WorkloadError):
+        CompositeWorkload([])
+
+
+# ---------------------------------------------------------------- harness
+def test_warm_runs_reset_measurement_state():
+    cluster = small_cluster(ibridge=True)
+    wl = MpiIoTest(nprocs=4, request_size=65 * KiB, file_size=4 * MiB)
+    res = run_workload(cluster, wl, warm_runs=1)
+    # Only the measured pass's requests are reported.
+    assert len(res.requests) == wl.iterations * 4
+
+
+def test_warm_runs_keep_cache_state():
+    cluster = small_cluster(ibridge=True)
+    wl = MpiIoTest(nprocs=4, request_size=65 * KiB, file_size=4 * MiB)
+    run_workload(cluster, wl, warm_runs=1)
+    cached = sum(len(s.ibridge.mapping) for s in cluster.servers)
+    assert cached > 0
