@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Audit demo: run an audited simulation, then catch a planted bug.
+
+Part 1 runs an unaligned mpi-io-test workload with the invariant
+auditor and livelock watchdog enabled.  Every iBridge admission,
+writeback, eviction and log-clean is cross-checked against independent
+byte ledgers; the run finishes with a conservation proof (every client
+byte reached a device exactly once) and a trace summary.
+
+Part 2 deliberately corrupts the partition accounting of a live
+manager — the kind of bookkeeping slip an eviction-policy patch could
+introduce — and shows the auditor catching it at the next check, with
+the structured violation record a real debugging session would start
+from.
+
+Run:  python examples/audit_demo.py
+"""
+
+from repro import Cluster, ClusterConfig, MpiIoTest, Op, run_workload
+from repro.config import AuditConfig
+from repro.units import KiB, MiB
+
+
+def audited_config(strict: bool = True) -> ClusterConfig:
+    base = ClusterConfig(num_servers=4,
+                         audit=AuditConfig(enabled=True, strict=strict))
+    return base.with_ibridge(ssd_partition=32 * MiB)
+
+
+def part_one() -> None:
+    print("=== Part 1: audited unaligned write run ===")
+    cluster = Cluster(audited_config(strict=True))
+    workload = MpiIoTest(nprocs=16, request_size=65 * KiB,
+                         file_size=16 * MiB, op=Op.WRITE)
+    result = run_workload(cluster, workload)
+    audit = cluster.audit
+    print(f"throughput: {result.throughput_mib_s:.1f} MiB/s "
+          f"({result.ssd_fraction * 100:.1f}% of bytes via SSD)")
+    print(f"audit: ok={audit.ok}, violations={len(audit.violations)}")
+    print("trace event counts:")
+    for kind, count in sorted(audit.summary().items()):
+        print(f"  {kind:>14}: {count}")
+    print("Every client write byte was matched against a disk write,")
+    print("an SSD redirection, a writeback, or a superseding overwrite;")
+    print("the final check proved end-of-run conservation on each disk.")
+
+
+def part_two() -> None:
+    print()
+    print("=== Part 2: planting a bookkeeping bug ===")
+    cluster = Cluster(audited_config(strict=False))
+    handle = cluster.create_file(8 * MiB)
+    client = cluster.client(0)
+    # Unaligned 65 KiB writes leave a fragment on one server each; a
+    # short burst is enough for the model to start redirecting them.
+    for i in range(24):
+        done = client.submit(Op.WRITE, handle, i * 65 * KiB, 65 * KiB,
+                             rank=0)
+        cluster.env.run(until=done)
+
+    # Corrupt the fragment-class byte counter of the first manager that
+    # actually cached something — as if an eviction forgot to debit it.
+    victim = None
+    for server in cluster.servers:
+        for unit in server.disks:
+            mgr = unit.ibridge
+            if mgr is not None and mgr.mapping.entries:
+                victim = mgr
+                break
+        if victim is not None:
+            break
+    assert victim is not None, "expected at least one cached fragment"
+    kind = next(iter(victim.mapping.entries)).kind
+    victim.partition._bytes[kind] += 4 * KiB  # the planted bug
+
+    cluster.audit.checkpoint("demo")
+    cluster.shutdown()
+
+    audit = cluster.audit
+    print(f"audit: ok={audit.ok}, violations={len(audit.violations)}")
+    for record in audit.violations[:1]:
+        print("first violation record:")
+        for key in sorted(record):
+            print(f"  {key}: {record[key]}")
+    print("In strict mode (the default) this would have raised AuditError")
+    print("at the exact event that first observed the inconsistency.")
+
+
+def main() -> None:
+    part_one()
+    part_two()
+
+
+if __name__ == "__main__":
+    main()

@@ -22,8 +22,10 @@ paper-versus-measured record of every table and figure.
 """
 
 from .analysis import LatencyStats, RunResult, improvement, reduction
-from .config import (ClusterConfig, HDDConfig, IBridgeConfig, NetworkConfig,
-                     ReturnPolicy, SchedulerConfig, ServerConfig, SSDConfig)
+from .audit import AuditRuntime
+from .config import (AuditConfig, ClusterConfig, HDDConfig, IBridgeConfig,
+                     NetworkConfig, ReturnPolicy, SchedulerConfig,
+                     ServerConfig, SSDConfig)
 from .devices.base import Op
 from .pfs import Cluster, StripeLayout
 from .workloads import (BTIO, IorMpiIo, MpiIoTest, TraceReplay, Workload,
@@ -42,6 +44,9 @@ __all__ = [
     "ServerConfig",
     "IBridgeConfig",
     "ReturnPolicy",
+    "AuditConfig",
+    # auditing
+    "AuditRuntime",
     # system
     "Cluster",
     "StripeLayout",

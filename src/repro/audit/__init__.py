@@ -1,0 +1,27 @@
+"""Online invariant auditing for the simulated I/O system.
+
+Opt-in per run via :class:`repro.config.AuditConfig` (``ClusterConfig
+.with_audit()``).  Three cooperating pieces, sharing one structured
+event-trace sink:
+
+* :class:`ManagerAuditor` — byte-conservation ledgers and cache-
+  coherence shadow checks for each iBridge manager,
+* :class:`LivelockWatchdog` — fires when simulated time advances but no
+  block request completes while work is pending,
+* :class:`EventTrace` — bounded in-memory ring with an optional JSONL
+  mirror, so a failing run is replayable offline.
+
+See docs/AUDITING.md for the invariant catalogue and trace format.
+"""
+
+from .invariants import ManagerAuditor
+from .runtime import AuditRuntime
+from .trace import EventTrace
+from .watchdog import LivelockWatchdog
+
+__all__ = [
+    "AuditRuntime",
+    "ManagerAuditor",
+    "LivelockWatchdog",
+    "EventTrace",
+]

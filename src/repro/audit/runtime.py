@@ -1,0 +1,95 @@
+"""The per-run audit runtime: trace sink + auditors + watchdog.
+
+One :class:`AuditRuntime` exists per cluster (or per standalone
+:class:`~repro.pfs.server.DataServer` in unit tests).  It owns the
+shared :class:`~repro.audit.trace.EventTrace`, hands each iBridge
+manager a :class:`~repro.audit.invariants.ManagerAuditor`, registers
+every block queue with the livelock watchdog, and collects violations.
+
+In strict mode (the default) the first violation raises
+:class:`~repro.errors.AuditError` at the site of the inconsistency — the
+most useful stack trace a simulation bug can produce.  In non-strict
+mode violations accumulate on :attr:`violations` for post-run review.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from ..config import AuditConfig
+from ..errors import AuditError
+from .trace import EventTrace
+from .watchdog import LivelockWatchdog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..block.queue import BlockQueue
+    from ..core.manager import IBridgeManager
+    from ..sim import Environment
+    from .invariants import ManagerAuditor
+
+
+class AuditRuntime:
+    """Shared state of the auditing subsystem for one simulation run."""
+
+    def __init__(self, env: "Environment", config: AuditConfig) -> None:
+        self.env = env
+        self.config = config
+        self.trace = EventTrace(config.trace_path, config.trace_limit)
+        self.violations: List[Dict] = []
+        self.watchdog = (LivelockWatchdog(env, self, config.watchdog_window)
+                         if config.watchdog else None)
+        self._managers: List["ManagerAuditor"] = []
+
+    # ------------------------------------------------------------- wiring
+    def attach_manager(self, manager: "IBridgeManager") -> "ManagerAuditor":
+        """Create (and register) the auditor for one iBridge manager."""
+        from .invariants import ManagerAuditor
+        auditor = ManagerAuditor(manager, self)
+        self._managers.append(auditor)
+        if self.watchdog is not None:
+            self.watchdog.watch_manager(manager)
+        return auditor
+
+    def watch_queue(self, queue: "BlockQueue") -> None:
+        """Register a block queue for stall detection."""
+        if self.watchdog is not None:
+            self.watchdog.watch_queue(queue)
+
+    # ---------------------------------------------------------- reporting
+    def violation(self, check: str, message: str, **context) -> None:
+        """Record an invariant violation; raise in strict mode."""
+        # Context keys are free-form; shield the record's own fields.
+        context = {(f"ctx_{k}" if k in ("t", "kind", "check", "message")
+                    else k): v for k, v in context.items()}
+        record = self.trace.emit(self.env.now, "violation", check=check,
+                                 message=message, **context)
+        self.violations.append(record)
+        self.trace.flush()
+        if self.config.strict:
+            raise AuditError(f"[{check}] t={self.env.now:.6f}: {message}")
+
+    def checkpoint(self, event: str = "checkpoint") -> None:
+        """Run every manager's ledger + coherence checks right now."""
+        for auditor in self._managers:
+            auditor.check(event)
+
+    @property
+    def ok(self) -> bool:
+        """True while no invariant has been violated."""
+        return not self.violations
+
+    def final_check(self) -> None:
+        """End-of-run conservation over every attached manager."""
+        for auditor in self._managers:
+            auditor.final_check()
+        self.trace.flush()
+
+    def stop(self) -> None:
+        """Stop the watchdog (end of simulation) and flush the trace."""
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        self.trace.flush()
+
+    def summary(self) -> Dict[str, int]:
+        """Lifetime trace-event counts by kind (for reports/examples)."""
+        return self.trace.summary()

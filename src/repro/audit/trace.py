@@ -1,0 +1,70 @@
+"""Structured event-trace sink shared by the auditors and the watchdog.
+
+Every audit-relevant event (byte movements, cache mutations, violations,
+watchdog dumps) is recorded as one flat dict with a simulated timestamp
+and a ``kind``.  The trace keeps a bounded in-memory ring for test
+introspection and can mirror every record to a JSON-lines file so a
+failing run is replayable offline::
+
+    {"t": 0.004096, "kind": "ssd_write", "server": 0, "nbytes": 4096, ...}
+
+Records are append-only and self-contained; a violation record carries
+the full invariant message, so ``grep '"violation"' trace.jsonl`` finds
+every failure with its context.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from typing import Dict, List, Optional
+
+
+class EventTrace:
+    """Bounded in-memory ring + optional JSONL mirror."""
+
+    def __init__(self, path: Optional[str] = None, limit: int = 4096) -> None:
+        self._records: deque = deque(maxlen=limit if limit > 0 else None)
+        self._counts: Counter = Counter()
+        self._path = path
+        # Append, don't truncate: one experiment may build several
+        # clusters in sequence (each with its own AuditRuntime) that all
+        # mirror to the same path.  Whoever owns the path for a whole
+        # invocation (e.g. the CLI) truncates it once up front.
+        self._file = open(path, "a", encoding="utf-8") if path else None
+
+    def emit(self, time: float, kind: str, **fields) -> Dict:
+        """Record one event; returns the record dict."""
+        record = {"t": round(time, 9), "kind": kind}
+        record.update(fields)
+        self._records.append(record)
+        self._counts[kind] += 1
+        if self._file is not None:
+            json.dump(record, self._file, default=str)
+            self._file.write("\n")
+        return record
+
+    def records(self, kind: Optional[str] = None) -> List[Dict]:
+        """Retained records, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r["kind"] == kind]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Events emitted over the trace's lifetime (not just retained)."""
+        if kind is None:
+            return sum(self._counts.values())
+        return self._counts[kind]
+
+    def summary(self) -> Dict[str, int]:
+        """Lifetime event counts by kind."""
+        return dict(sorted(self._counts.items()))
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None

@@ -54,6 +54,10 @@ class BlockQueue:
         self._last_service_end = env.now
         self._drain_waiters: List[Event] = []
         self.dispatches = 0
+        #: Block requests completed over the queue's lifetime.  The
+        #: audit watchdog reads this to detect stalls: simulated time
+        #: advancing while no request on any queue completes.
+        self.completed = 0
         env.process(self._run(), name=f"{name}-runner")
 
     # -- public API ---------------------------------------------------
@@ -134,6 +138,7 @@ class BlockQueue:
         self._inflight -= len(dispatch.members)
         self._last_activity = env.now
         self._last_service_end = env.now
+        self.completed += len(dispatch.members)
         for member in dispatch.members:
             member.complete_time = env.now
             member.done.succeed(member)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Optional
 
 from .errors import ConfigError
 from .units import GiB, KiB, MiB, MS, US
@@ -242,6 +243,45 @@ class IBridgeConfig:
 
 
 @dataclass(frozen=True)
+class AuditConfig:
+    """The invariant-auditing / watchdog subsystem (:mod:`repro.audit`).
+
+    Disabled by default: production-size runs should not pay the shadow
+    accounting.  Tests and examples enable it to catch byte-conservation
+    violations, cache-coherence drift, and simulation livelocks online.
+    """
+
+    enabled: bool = False
+    #: Raise :class:`repro.errors.AuditError` at the violation site.
+    #: When False, violations are recorded on the runtime (and traced)
+    #: but the run continues — useful for surveying a misbehaving run.
+    strict: bool = True
+    #: Shadow the MappingTable / LogStore / PartitionManager after every
+    #: mutation and check that their accounts agree.
+    check_coherence: bool = True
+    #: Track payload bytes end-to-end and assert conservation per read
+    #: and at end-of-run drain.
+    check_conservation: bool = True
+    #: Run the livelock/stall watchdog process.
+    watchdog: bool = True
+    #: Simulated seconds without a single block-request completion
+    #: (while work is pending) before the watchdog fires.  Device
+    #: service times are ms-scale, so seconds of silence mean a stall.
+    watchdog_window: float = 2.0
+    #: Write the structured event trace to this JSONL file (None = keep
+    #: an in-memory ring only).
+    trace_path: Optional[str] = None
+    #: Events kept in the in-memory ring buffer.
+    trace_limit: int = 4096
+
+    def validate(self) -> None:
+        if self.watchdog_window <= 0:
+            raise ConfigError("watchdog_window must be positive")
+        if self.trace_limit < 0:
+            raise ConfigError("trace_limit must be non-negative")
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Per-data-server parameters."""
 
@@ -276,6 +316,7 @@ class ClusterConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
     ibridge: IBridgeConfig = field(default_factory=IBridgeConfig)
+    audit: AuditConfig = field(default_factory=AuditConfig)
     #: Client-side per-request overhead (MPI-IO + PVFS2 client split).
     client_overhead: float = 50 * US
     #: Uniform per-request client think-time jitter upper bound.  Models
@@ -311,11 +352,17 @@ class ClusterConfig:
         self.network.validate()
         self.server.validate()
         self.ibridge.validate()
+        self.audit.validate()
 
     def with_ibridge(self, **overrides) -> "ClusterConfig":
         """Copy of this config with iBridge enabled (plus overrides)."""
         ib = dataclasses.replace(self.ibridge, enabled=True, **overrides)
         return dataclasses.replace(self, ibridge=ib)
+
+    def with_audit(self, **overrides) -> "ClusterConfig":
+        """Copy of this config with auditing enabled (plus overrides)."""
+        audit = dataclasses.replace(self.audit, enabled=True, **overrides)
+        return dataclasses.replace(self, audit=audit)
 
     def without_ibridge(self) -> "ClusterConfig":
         """Copy of this config with iBridge disabled (the stock system)."""

@@ -19,7 +19,7 @@ moves real data (this is a timing simulation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..block.queue import BlockQueue
 from ..config import ClusterConfig
@@ -33,6 +33,9 @@ from .logstore import LogStore
 from .mapping import CacheEntry, CacheKind, MappingTable
 from .partition import PartitionManager
 from .service_model import DiskServiceModel, GlobalTTable, fragment_return
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..audit.runtime import AuditRuntime
 
 #: Stream id used for background (writeback/fill/cleaning) disk and SSD
 #: traffic, so CFQ sees the flusher as one sequential-friendly stream.
@@ -55,6 +58,10 @@ class IBridgeStats:
     randoms_seen: int = 0
     bytes_from_ssd: int = 0
     bytes_from_disk: int = 0
+    #: Readahead-extension bytes the disk transferred beyond the payload
+    #: (see ``_round_gap``).  Kept separate so ``ssd_fraction`` compares
+    #: payload against payload.
+    readahead_bytes: int = 0
     writeback_bytes: int = 0
     fill_bytes: int = 0
     rejected_admissions: int = 0
@@ -75,7 +82,8 @@ class IBridgeManager:
                  disk_store: LocalStore, profile: SeekProfile,
                  t_table: Optional[GlobalTTable] = None,
                  partition_bytes: Optional[int] = None,
-                 log_base: int = 0) -> None:
+                 log_base: int = 0,
+                 audit: Optional["AuditRuntime"] = None) -> None:
         """One manager per disk.
 
         With multiple disks per server (the paper's §II extension), each
@@ -117,6 +125,8 @@ class IBridgeManager:
         self._by_lbn: Dict[int, CacheEntry] = {}
         self._fill_tasks: Store = Store(env)
         self.stats = IBridgeStats()
+        #: Invariant auditor (None unless the run enables auditing).
+        self.audit = audit.attach_manager(self) if audit is not None else None
         self._shutdown = False
         env.process(self._writeback_daemon(), name=f"ib{server_id}-writeback")
         env.process(self._fill_daemon(), name=f"ib{server_id}-fill")
@@ -163,6 +173,8 @@ class IBridgeManager:
 
     # =================================================== write path
     def _handle_write(self, sub: SubRequest):
+        if self.audit:
+            self.audit.note_client_write(sub.nbytes)
         kind = self._classify(sub)
         if kind is not None and self._log is not None:
             ret = self._return_value(sub, kind, Op.WRITE)
@@ -184,6 +196,16 @@ class IBridgeManager:
                                              new_start=sub.local_offset,
                                              new_end=sub.local_end)
         yield from self._clean_log_if_needed()
+        # The invalidation/cleaning above yielded: concurrent admissions
+        # may have refilled the class partition since ``_make_room``
+        # said yes.  Re-check (and retry eviction once) before
+        # committing, so the class can never over-commit its share.
+        if not self.partition.fits(kind, sub.nbytes):
+            ok = yield from self._make_room(kind, sub.nbytes)
+            if not (ok and self.partition.fits(kind, sub.nbytes)):
+                self.stats.rejected_admissions += 1
+                yield from self._disk_write(sub)
+                return
         # The mapping-table entry is persisted alongside the data, so the
         # log allocation includes it — keeping successive appends exactly
         # device-contiguous (zero setup cost on the SSD).
@@ -203,6 +225,9 @@ class IBridgeManager:
         self.model.observe_ssd()
         self.stats.ssd_redirected_writes += 1
         self.stats.bytes_from_ssd += sub.nbytes
+        if self.audit:
+            self.audit.note_ssd_redirect(sub.nbytes)
+            self.audit.check("ssd_write")
         yield req.done
 
     def _disk_write(self, sub: SubRequest):
@@ -219,6 +244,8 @@ class IBridgeManager:
                 for lbn, size in ranges]
         self.stats.disk_served += 1
         self.stats.bytes_from_disk += sub.nbytes
+        if self.audit:
+            self.audit.note_disk_write(sub.nbytes)
         yield self.env.all_of([r.done for r in reqs])
 
     # =================================================== read path
@@ -249,8 +276,7 @@ class IBridgeManager:
         right_ok = re_ == ge or self.mapping.is_fully_cached(handle, ge, re_)
         if not (left_ok and right_ok):
             return gs, ge
-        fmap = self.disk_store._files.get(handle)
-        if fmap is not None and fmap.is_covered(rs, re_):
+        if self.disk_store.is_allocated(handle, rs, re_ - rs):
             return rs, re_
         return gs, ge
 
@@ -266,10 +292,12 @@ class IBridgeManager:
             self.partition.touch(entry, self.env.now)
             ssd_bytes += pe - ps
 
-        disk_bytes = 0
+        disk_bytes = 0      # physical bytes the disk transfers
+        payload_bytes = 0   # bytes of that belonging to the request
         first_disk_lbn: Optional[int] = None
-        for gs, ge in gaps:
-            gs, ge = self._round_gap(sub.handle, gs, ge)
+        for gs0, ge0 in gaps:
+            gs, ge = self._round_gap(sub.handle, gs0, ge0)
+            payload_bytes += ge0 - gs0
             for lbn, size in self.disk_store.ranges_for_read(sub.handle, gs,
                                                              ge - gs):
                 if first_disk_lbn is None:
@@ -279,6 +307,8 @@ class IBridgeManager:
                 disk_bytes += size
 
         if disk_bytes:
+            # The service model sees the full transfer (the disk really
+            # moves the extension bytes); the payload stats do not.
             self.model.observe_disk(Op.READ, first_disk_lbn, disk_bytes,
                                     self.hdd_queue.device.head)
             self.stats.disk_served += 1
@@ -286,7 +316,11 @@ class IBridgeManager:
             self.model.observe_ssd()
             self.stats.ssd_read_hits += 1
         self.stats.bytes_from_ssd += ssd_bytes
-        self.stats.bytes_from_disk += disk_bytes
+        self.stats.bytes_from_disk += payload_bytes
+        self.stats.readahead_bytes += disk_bytes - payload_bytes
+        if self.audit:
+            self.audit.note_read(sub.nbytes, ssd_bytes, payload_bytes,
+                                 disk_bytes - payload_bytes)
 
         if pending:
             yield self.env.all_of([r.done for r in pending])
@@ -326,6 +360,12 @@ class IBridgeManager:
         self.partition.drop(entry)
         self._log.invalidate(entry.ssd_lbn)
         self._by_lbn.pop(entry.ssd_lbn, None)
+        if self.audit:
+            if entry.dirty:
+                # A still-dirty drop means a newer write superseded the
+                # bytes (uncovered parts were flushed beforehand).
+                self.audit.note_superseded(entry.nbytes)
+            self.audit.check("drop")
 
     def _flush_entry(self, entry: CacheEntry, stream: int = BACKGROUND_STREAM):
         """Copy a dirty entry's bytes from the SSD log to its disk home."""
@@ -345,22 +385,39 @@ class IBridgeManager:
         entry.dirty = False
         entry.busy = False
         self.stats.writeback_bytes += entry.nbytes
+        if self.audit:
+            self.audit.note_writeback(entry.nbytes)
+            self.audit.check("writeback")
 
     # =================================================== space management
-    def _make_room(self, kind: CacheKind, nbytes: int):
-        """Evict (flushing as needed) until ``nbytes`` fits; False if not."""
-        try:
-            victims = self.partition.eviction_candidates(kind, nbytes)
-        except StorageError:
-            return False
-        dirty_victims = [v for v in victims if v.dirty]
-        if dirty_victims:
-            yield from self._flush_batch(dirty_victims)
-        live = {e.id for e in self.mapping.entries}
-        for victim in victims:
-            if victim.id in live:
-                self._drop_entry(victim)
-        return True
+    def _make_room(self, kind: CacheKind, nbytes: int, max_attempts: int = 3):
+        """Evict (flushing as needed) until ``nbytes`` fits; False if not.
+
+        Flushing dirty victims yields to the simulation, so concurrent
+        admissions may refill the partition while this runs.  The loop
+        re-evaluates ``fits`` after every eviction pass and retries a
+        bounded number of times rather than blindly reporting success —
+        otherwise a class could over-commit its share under racing
+        admissions.
+        """
+        for _ in range(max_attempts):
+            if self.partition.fits(kind, nbytes):
+                return True
+            try:
+                victims = self.partition.eviction_candidates(kind, nbytes)
+            except StorageError:
+                return False
+            if not victims:
+                # A concurrent eviction freed the space already.
+                return True
+            dirty_victims = [v for v in victims if v.dirty]
+            if dirty_victims:
+                yield from self._flush_batch(dirty_victims)
+            live = {e.id for e in self.mapping.entries}
+            for victim in victims:
+                if victim.id in live:
+                    self._drop_entry(victim)
+        return self.partition.fits(kind, nbytes)
 
     def _clean_log_if_needed(self):
         """Greedy segment cleaning to keep free log space available."""
@@ -382,6 +439,8 @@ class IBridgeManager:
                     del self._by_lbn[lbn]
                     entry.ssd_lbn = new_lbn
                     self._by_lbn[new_lbn] = entry
+                if self.audit:
+                    self.audit.check("clean")
             log.release_victim(victim)
 
     # =================================================== background daemons
@@ -412,15 +471,27 @@ class IBridgeManager:
         return ranges[0][0]
 
     def _flush_some(self, dirty: List[CacheEntry]):
-        """Flush up to ``writeback_batch`` bytes, sorted by disk home LBN."""
+        """Flush up to ``writeback_batch`` bytes, sorted by disk home LBN.
+
+        Entries larger than the *remaining* batch budget are skipped —
+        not a stop condition: an oversized entry early in LBN order must
+        not block every later entry, or ``flush_all`` livelocks.  When
+        nothing fits the budget at all, the smallest flushable entry is
+        written alone so each pass is guaranteed forward progress.
+        """
         batch: List[CacheEntry] = []
         budget = self.ib.writeback_batch
         for entry in sorted(dirty, key=self._home_lbn):
+            if not entry.dirty or entry.busy:
+                continue
             if entry.nbytes > budget:
-                break
-            if entry.dirty and not entry.busy:
-                batch.append(entry)
-                budget -= entry.nbytes
+                continue
+            batch.append(entry)
+            budget -= entry.nbytes
+        if not batch:
+            flushable = [e for e in dirty if e.dirty and not e.busy]
+            if flushable:
+                batch = [min(flushable, key=lambda e: e.nbytes)]
         yield from self._flush_batch(batch)
 
     def _flush_batch(self, batch: List[CacheEntry]):
@@ -454,6 +525,10 @@ class IBridgeManager:
             entry.dirty = False
             entry.busy = False
             self.stats.writeback_bytes += entry.nbytes
+            if self.audit:
+                self.audit.note_writeback(entry.nbytes)
+        if self.audit:
+            self.audit.check("writeback_batch")
 
     def flush_all(self):
         """Synchronously flush every dirty entry (end-of-run accounting).
@@ -489,13 +564,24 @@ class IBridgeManager:
                 self.stats.rejected_admissions += 1
                 continue
             yield from self._clean_log_if_needed()
-            if not self._log.can_append(end - start):
+            # Everything above yielded; re-run every admission check now
+            # so the check-and-insert below is one atomic step.  Without
+            # this, a foreground write admitted during the eviction
+            # flush could cover the same range (double-caching) or
+            # refill the class partition (over-commit).
+            if (self.mapping.coverage(handle, start, end) > 0
+                    or not self.partition.fits(kind, end - start)):
                 self.stats.rejected_admissions += 1
                 continue
-            lbn = self._log.append(end - start)
-            write = self.ssd_queue.submit(Op.WRITE, lbn, end - start,
-                                          stream=BACKGROUND_STREAM)
-            yield write.done
+            # Fills persist a mapping-table entry with the data exactly
+            # like redirected writes; charging it here keeps log
+            # occupancy (and cleaning thresholds) consistent between
+            # the two admission paths.
+            payload = (end - start) + TABLE_ENTRY_BYTES
+            if not self._log.can_append(payload):
+                self.stats.rejected_admissions += 1
+                continue
+            lbn = self._log.append(payload)
             entry = CacheEntry(handle=handle, start=start, end=end,
                                ssd_lbn=lbn, kind=kind, dirty=False, ret=ret,
                                last_use=env.now)
@@ -503,6 +589,12 @@ class IBridgeManager:
             self.partition.add(entry)
             self._by_lbn[lbn] = entry
             self.stats.fill_bytes += end - start
+            if self.audit:
+                self.audit.note_fill(end - start)
+                self.audit.check("fill")
+            write = self.ssd_queue.submit(Op.WRITE, lbn, payload,
+                                          stream=BACKGROUND_STREAM)
+            yield write.done
 
     def shutdown(self) -> None:
         """Stop background daemons at the next poll (end of simulation)."""

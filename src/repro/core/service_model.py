@@ -156,13 +156,23 @@ def fragment_return(base: float, this_server: int, this_t: float,
     If this server's ``T`` is the largest among the disks holding the
     fragment's siblings, the fragment gates its parent request and the
     return grows by ``(T^max − T^sec_max) * n``.
+
+    This server's own ``T`` is always the live ``this_t`` — never its
+    (possibly stale) broadcast entry — so ``this_server`` is removed
+    from the sibling set before consulting the table: when we are the
+    slowest, ``T^max`` is ``this_t`` and ``T^sec_max`` is the maximum
+    over the *other* servers.  A stale self-report must neither inflate
+    the term (old high value) nor zero it (old value shadowing the true
+    second maximum).
     """
     if not enabled or n_siblings <= 0:
         return base
-    all_servers = list(sibling_servers) + [this_server]
-    t_max, t_sec, argmax = table.max_and_second(all_servers)
-    # Use our live T for ourselves (fresher than the broadcast).
-    if this_t >= t_max or argmax == this_server:
-        t_sec_eff = t_sec if argmax != this_server else t_sec
-        return base + max(0.0, (max(this_t, t_max) - t_sec_eff)) * n_siblings
-    return base
+    others = [s for s in dict.fromkeys(sibling_servers) if s != this_server]
+    other_max, _other_sec, other_argmax = table.max_and_second(others)
+    if other_argmax is None:
+        # No sibling has a known T yet: we cannot claim to gate anyone.
+        return base
+    if this_t < other_max:
+        # Some sibling's disk is slower; it gates the parent, not us.
+        return base
+    return base + (this_t - other_max) * n_siblings

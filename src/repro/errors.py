@@ -27,5 +27,13 @@ class ProtocolError(ReproError):
     """Violation of the PFS client/server message protocol."""
 
 
+class AuditError(ReproError):
+    """An online invariant check or the livelock watchdog fired.
+
+    Raised by :mod:`repro.audit` in strict mode; the message carries the
+    violated invariant and a snapshot of the relevant state.
+    """
+
+
 class WorkloadError(ReproError):
     """Invalid workload specification."""

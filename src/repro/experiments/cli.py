@@ -11,7 +11,8 @@ import sys
 import time
 from typing import List, Optional
 
-from .common import DEFAULT_SCALE
+from ..config import AuditConfig
+from .common import DEFAULT_SCALE, set_default_audit
 from .registry import EXPERIMENTS, get
 
 
@@ -26,7 +27,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {DEFAULT_SCALE:.4f})")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--audit", action="store_true",
+                        help="run with the invariant auditor + livelock "
+                             "watchdog enabled (strict: first violation "
+                             "aborts the experiment)")
+    parser.add_argument("--audit-trace", metavar="PATH", default=None,
+                        help="mirror audit trace events to a JSONL file "
+                             "(implies --audit)")
     args = parser.parse_args(argv)
+
+    if args.audit or args.audit_trace:
+        if args.audit_trace:
+            # EventTrace appends so that multi-cluster experiments keep
+            # every cluster's events; truncate once per CLI invocation.
+            open(args.audit_trace, "w", encoding="utf-8").close()
+        set_default_audit(AuditConfig(enabled=True,
+                                      trace_path=args.audit_trace))
 
     if args.list or args.name is None:
         print("available experiments:")

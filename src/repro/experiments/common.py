@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.report import format_table
-from ..config import ClusterConfig
+from ..config import AuditConfig, ClusterConfig
 from ..devices.base import Op
 from ..pfs.cluster import Cluster
 from ..units import GiB, KiB, MiB
@@ -64,9 +64,23 @@ def file_bytes(scale: float, nprocs: int = 1, request_size: int = 64 * KiB,
     return max(base, floor)
 
 
+#: Process-wide audit default applied by :func:`base_config` — set by
+#: the CLI's ``--audit`` flag (or tests) so every experiment in a run
+#: is audited without threading a parameter through each ``run()``.
+_DEFAULT_AUDIT: Optional[AuditConfig] = None
+
+
+def set_default_audit(audit: Optional[AuditConfig]) -> None:
+    """Install (or clear, with ``None``) the audit config experiments use."""
+    global _DEFAULT_AUDIT
+    _DEFAULT_AUDIT = audit
+
+
 def base_config(num_servers: int = 8, ibridge: bool = False,
                 **overrides) -> ClusterConfig:
     """The paper's testbed configuration (Section III-A)."""
+    if _DEFAULT_AUDIT is not None and "audit" not in overrides:
+        overrides["audit"] = _DEFAULT_AUDIT
     cfg = ClusterConfig(num_servers=num_servers, **overrides)
     if ibridge:
         cfg = cfg.with_ibridge()

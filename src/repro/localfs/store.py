@@ -48,6 +48,11 @@ class LocalStore:
         fmap = self._files.get(handle)
         return fmap.total_bytes if fmap else 0
 
+    def is_allocated(self, handle: int, offset: int, nbytes: int) -> bool:
+        """True when ``[offset, offset+nbytes)`` is fully extent-backed."""
+        fmap = self._files.get(handle)
+        return fmap is not None and fmap.is_covered(offset, offset + nbytes)
+
     def ensure(self, handle: int, offset: int, nbytes: int) -> None:
         """Allocate backing extents for any holes in ``[offset, offset+nbytes)``."""
         if nbytes <= 0:

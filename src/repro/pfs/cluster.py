@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..audit import AuditRuntime
 from ..config import ClusterConfig
 from ..core.service_model import GlobalTTable
 from ..devices import HardDisk
@@ -63,6 +64,11 @@ class Cluster:
         overrides = hdd_overrides or {}
         for hdd_cfg in overrides.values():
             hdd_cfg.validate()
+        # One audit runtime shared by all servers: one watchdog sees
+        # every queue, one trace orders events across the cluster.
+        self.audit: Optional[AuditRuntime] = None
+        if self.config.audit.enabled:
+            self.audit = AuditRuntime(self.env, self.config.audit)
         # One shared T table object per server (each server keeps its
         # own view; the MDS broadcast updates them all).
         self.servers: List[DataServer] = []
@@ -75,7 +81,8 @@ class Cluster:
             self.servers.append(
                 DataServer(self.env, i, server_cfg,
                            _profile_for(server_cfg),
-                           t_table=GlobalTTable(), trace_disk=trace_disk))
+                           t_table=GlobalTTable(), trace_disk=trace_disk,
+                           audit=self.audit))
         self.mds.bind_servers(self.servers)
         self._clients: Dict[int, PFSClient] = {}
         self.requests: List[ParentRequest] = []
@@ -118,12 +125,16 @@ class Cluster:
                                     name=f"{server.name}-drain")
             done.append(proc)
         self.env.run(until=self.env.all_of(done))
+        if self.audit is not None:
+            self.audit.final_check()
 
     def shutdown(self) -> None:
         """Stop periodic daemons so ``env.run()`` can terminate."""
         for server in self.servers:
             if server.ibridge is not None:
                 server.ibridge.shutdown()
+        if self.audit is not None:
+            self.audit.stop()
 
     # ------------------------------------------------------------- stats
     @property

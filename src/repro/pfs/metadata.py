@@ -38,6 +38,22 @@ class MetadataServer:
 
     def bind_servers(self, servers: List) -> None:
         self._servers = list(servers)
+        if not self.config.ibridge.enabled:
+            return
+        # Mount-time exchange: every server registers its initial T so
+        # Eq. 3 consults a full (if soon stale) table from the first
+        # request on, not only after the first periodic broadcast.
+        reports = []
+        for server in self._servers:
+            if server.ibridge is None:
+                continue
+            rep = TReport(server=server.id, t_value=server.t_value,
+                          time=self.env.now)
+            self._table[server.id] = rep
+            reports.append(rep)
+        for server in self._servers:
+            if server.ibridge is not None:
+                server.ibridge.t_table.update_many(reports)
 
     def create_handle(self) -> int:
         """Allocate a new PFS file handle."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..audit import AuditRuntime
 from ..block import BlockQueue, BlockTracer, make_scheduler
 from ..config import ClusterConfig
 from ..core.manager import IBridgeManager
@@ -54,16 +55,25 @@ class DataServer:
 
     def __init__(self, env: Environment, server_id: int, config: ClusterConfig,
                  profile: SeekProfile, t_table: Optional[GlobalTTable] = None,
-                 trace_disk: bool = False) -> None:
+                 trace_disk: bool = False,
+                 audit: Optional[AuditRuntime] = None) -> None:
         self.env = env
         self.id = server_id
         self.config = config
         self.name = f"ds{server_id}"
 
+        # Auditing: use the cluster's shared runtime when given one,
+        # else (standalone servers in unit tests) own a private one.
+        if audit is None and config.audit.enabled:
+            audit = AuditRuntime(env, config.audit)
+        self.audit = audit
+
         self.ssd = SolidStateDrive(config.ssd)
         self.ssd_queue = BlockQueue(env, self.ssd,
                                     make_scheduler(config.ssd_scheduler),
                                     name=f"{self.name}-ssd")
+        if self.audit is not None:
+            self.audit.watch_queue(self.ssd_queue)
         # SSD-resident file store (used when primary_store == "ssd");
         # reserve the iBridge log region(s) when iBridge is enabled.
         reserve = config.ibridge.ssd_partition * 2 if config.ibridge.enabled else 0
@@ -79,6 +89,8 @@ class DataServer:
             tracer = BlockTracer(enabled=trace_disk)
             queue = BlockQueue(env, hdd, make_scheduler(config.hdd_scheduler),
                                tracer=tracer, name=f"{self.name}-hdd{d}")
+            if self.audit is not None:
+                self.audit.watch_queue(queue)
             store = LocalStore(hdd.capacity)
             manager = None
             if config.ibridge.enabled:
@@ -88,7 +100,8 @@ class DataServer:
                     env, server_id, config, queue, self.ssd_queue, store,
                     profile, t_table=shared_table,
                     partition_bytes=partition_slice,
-                    log_base=d * region_stride)
+                    log_base=d * region_stride,
+                    audit=self.audit)
             self.disks.append(DiskUnit(hdd=hdd, queue=queue, store=store,
                                        tracer=tracer, ibridge=manager))
 

@@ -168,6 +168,22 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def queue_snapshot(self, limit: Optional[int] = None) -> List[Tuple[float, int, int, str]]:
+        """The pending event queue as ``(time, priority, seq, label)``.
+
+        Diagnostic view (used by the audit watchdog's stall dumps):
+        events are labelled with their process name when they belong to
+        a process, else their class name.  Sorted by firing order.
+        """
+        items = sorted(self._queue)
+        if limit is not None:
+            items = items[:limit]
+        out = []
+        for when, prio, seq, event in items:
+            label = getattr(event, "name", None) or type(event).__name__
+            out.append((when, prio, seq, label))
+        return out
+
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:

@@ -1,10 +1,8 @@
 """Focused tests on the BTIO workload model's internal structure."""
 
-import math
-
 import pytest
 
-from repro.workloads.btio import BTIO, CLASS_C_BYTES, OUTPUT_STEPS, btio_request_size
+from repro.workloads.btio import BTIO, OUTPUT_STEPS, btio_request_size
 
 
 def test_class_c_defaults():

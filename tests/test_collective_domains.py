@@ -1,7 +1,5 @@
 """Unit tests for the collective engine's file-domain partitioning."""
 
-import pytest
-
 from repro.config import ClusterConfig
 from repro.mpi import MPIRun
 from repro.mpi.collective import CollectiveEngine

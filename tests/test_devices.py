@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import HDDConfig, SSDConfig
+from repro.config import HDDConfig
 from repro.devices import HardDisk, Op, SeekCurve, SolidStateDrive
 from repro.devices.calibration import derive_ssd_setup, table2_corners
 from repro.errors import ConfigError, StorageError

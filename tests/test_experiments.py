@@ -8,7 +8,6 @@ model recalibration.  Heavier experiments use reduced parameter grids.
 import pytest
 
 from repro.experiments import EXPERIMENTS, get
-from repro.experiments import common as excommon
 
 SMALL = 1 / 320  # 32 MiB working set
 

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.config import ClusterConfig
 from repro.experiments.cli import main as cli_main
-from repro.experiments.common import (DEFAULT_SCALE, ExperimentResult,
-                                      base_config, file_bytes, scaled_ibridge)
+from repro.experiments.common import (ExperimentResult, base_config,
+                                      file_bytes, scaled_ibridge)
 from repro.units import GiB, KiB, MiB
 
 
@@ -70,3 +69,26 @@ def test_cli_runs_one_experiment(capsys):
 def test_cli_unknown_experiment():
     with pytest.raises(KeyError):
         cli_main(["not-an-experiment"])
+
+
+def test_cli_audit_flag_installs_default(capsys):
+    assert cli_main(["--list", "--audit"]) == 0
+    cfg = base_config()
+    assert cfg.audit.enabled
+    assert cfg.audit.strict
+    assert cfg.audit.trace_path is None
+
+
+def test_cli_audit_trace_implies_audit(tmp_path, capsys):
+    path = str(tmp_path / "trace.jsonl")
+    assert cli_main(["--list", "--audit-trace", path]) == 0
+    cfg = base_config()
+    assert cfg.audit.enabled
+    assert cfg.audit.trace_path == path
+
+
+def test_explicit_audit_override_wins(capsys):
+    from repro.config import AuditConfig
+    assert cli_main(["--list", "--audit"]) == 0
+    cfg = base_config(audit=AuditConfig(enabled=False))
+    assert not cfg.audit.enabled

@@ -1,7 +1,5 @@
 """Cross-cutting integration tests: determinism, saturation, harness."""
 
-import pytest
-
 from repro.config import ClusterConfig, ServerConfig
 from repro.devices import Op
 from repro.pfs import Cluster
@@ -66,7 +64,6 @@ def test_more_servers_more_throughput():
 
 
 def test_network_bottleneck_caps_throughput():
-    import dataclasses
     from repro.config import NetworkConfig
     slow_net = NetworkConfig(bandwidth=10 * MiB)  # starve the wire
     cfg = ClusterConfig(num_servers=8, network=slow_net, client_jitter=0.0)

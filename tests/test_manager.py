@@ -5,9 +5,7 @@ hand-built sub-requests, so these cover the full redirect / cache /
 coherence / writeback machinery.
 """
 
-import pytest
-
-from repro.config import ClusterConfig, IBridgeConfig, ReturnPolicy
+from repro.config import ClusterConfig, ReturnPolicy
 from repro.core.mapping import CacheKind
 from repro.core.service_model import TReport
 from repro.devices import HardDisk, Op, profile_device
@@ -183,14 +181,47 @@ def test_paper_return_policy_rarely_redirects():
 
 def test_sibling_term_uses_broadcast_table():
     env, server = make_server()
-    # Mark this server as the slowest among siblings.
-    server.ibridge.t_table.update(TReport(server=0, t_value=1.0, time=0.0))
-    server.ibridge.t_table.update(TReport(server=1, t_value=0.001, time=0.0))
+    # The sibling's broadcast T is tiny, so this server's live T gates
+    # the striped request and the fragment's return gains the
+    # (T - T_sibling_max) * n boost.
+    t_sibling = 1e-4
+    server.ibridge.t_table.update(TReport(server=1, t_value=t_sibling,
+                                          time=0.0))
+    t_live = server.ibridge.model.t_value
+    assert t_live > t_sibling
     serve(env, server, sub(op=Op.WRITE, size=2 * KiB, fragment=True,
                            siblings=(1,)))
     [entry] = server.ibridge.mapping.entries
-    # The recorded return includes the (T_max - T_sec) * n boost.
-    assert entry.ret > 0.9
+    # base > 0 is required for redirection, so ret exceeds the boost.
+    assert entry.ret > t_live - t_sibling
+
+
+def test_sibling_term_ignores_stale_self_report():
+    """A stale broadcast entry for *this* server must not shadow the
+    live T: the boost compares live T against the other servers only."""
+    env, server = make_server()
+    t_sibling = 1e-4
+    # Absurdly high stale self-report; the buggy Eq. 3 would have used
+    # it as T^max and inflated the boost to ~1 s.
+    server.ibridge.t_table.update(TReport(server=0, t_value=1.0, time=0.0))
+    server.ibridge.t_table.update(TReport(server=1, t_value=t_sibling,
+                                          time=0.0))
+    serve(env, server, sub(op=Op.WRITE, size=2 * KiB, fragment=True,
+                           siblings=(1,)))
+    [entry] = server.ibridge.mapping.entries
+    assert entry.ret < 0.5
+
+
+def test_sibling_term_suppressed_when_sibling_slower():
+    """When a sibling's disk is slower, that disk gates the parent
+    request and this server's fragment gets no magnification."""
+    env, server = make_server()
+    server.ibridge.t_table.update(TReport(server=1, t_value=10.0, time=0.0))
+    serve(env, server, sub(op=Op.WRITE, size=2 * KiB, fragment=True,
+                           siblings=(1,)))
+    entries = list(server.ibridge.mapping.entries)
+    if entries:  # redirected on base return alone
+        assert entries[0].ret < 1e-2
 
 
 def test_log_cleaning_relocates_live_data():

@@ -53,12 +53,14 @@ def check_invariants(server):
     assert ib.partition.used(CacheKind.RANDOM) == by_kind[CacheKind.RANDOM]
     assert ib.partition.used(CacheKind.FRAGMENT) == by_kind[CacheKind.FRAGMENT]
 
-    # 2. Every entry's log extent is live with a consistent size.
+    # 2. Every entry's log extent is live, sized exactly data + the
+    # persisted mapping-table entry — both admission paths (redirected
+    # writes and read-miss fills) must charge the log identically.
     log = ib._log
     for e in entries:
         assert e.ssd_lbn in log._extents
         _seg, size = log._extents[e.ssd_lbn]
-        assert size in (e.nbytes, e.nbytes + TABLE_ENTRY_BYTES)
+        assert size == e.nbytes + TABLE_ENTRY_BYTES
 
     # 3. Cached ranges never overlap (per handle).
     seen = {}

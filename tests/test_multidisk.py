@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config import ClusterConfig, ServerConfig
-from repro.devices import Op
 from repro.errors import ConfigError
 from repro.pfs import Cluster
 from repro.units import KiB, MiB

@@ -5,7 +5,7 @@ import pytest
 from repro.config import NetworkConfig
 from repro.net import Network
 from repro.sim import Environment
-from repro.units import MiB, MS, US
+from repro.units import MiB, US
 
 
 def test_control_message_pays_overhead_and_latency():

@@ -1,7 +1,5 @@
 """Tests for client-side splitting and fragment flagging."""
 
-import pytest
-
 from repro.config import ClusterConfig
 from repro.devices import Op
 from repro.pfs import Cluster

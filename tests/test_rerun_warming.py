@@ -1,7 +1,5 @@
 """Run-over-run cache-warming behaviour (paper §II-B pre-loading)."""
 
-import pytest
-
 from repro.config import ClusterConfig
 from repro.devices import Op
 from repro.mpi import MPIRun

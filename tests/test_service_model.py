@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import HDDConfig, IBridgeConfig, ReturnPolicy
+from repro.config import IBridgeConfig, ReturnPolicy
 from repro.core.service_model import (DiskServiceModel, GlobalTTable, TReport,
                                       fragment_return)
 from repro.devices import HardDisk, Op, profile_device
@@ -132,4 +132,47 @@ def test_fragment_return_disabled():
     table = GlobalTTable()
     table.update(TReport(server=0, t_value=0.010, time=0.0))
     ret = fragment_return(0.001, 0, 0.010, [1], 1, table, enabled=False)
+    assert ret == pytest.approx(0.001)
+
+
+def test_fragment_return_uses_live_t_over_stale_self_report():
+    """A stale broadcast entry for this server must not act as T^max:
+    the boost is (live T − max over *other* servers) * n."""
+    table = GlobalTTable()
+    table.update(TReport(server=0, t_value=1.0, time=0.0))  # stale, huge
+    table.update(TReport(server=1, t_value=0.004, time=0.0))
+    ret = fragment_return(0.001, this_server=0, this_t=0.010,
+                          sibling_servers=[1], n_siblings=1, table=table)
+    assert ret == pytest.approx(0.001 + (0.010 - 0.004) * 1)
+
+
+def test_fragment_return_stale_self_report_does_not_shadow_second_max():
+    """A stale high self-report must not become T^sec_max either (that
+    would zero the boost when we are genuinely the slowest)."""
+    table = GlobalTTable()
+    table.update(TReport(server=0, t_value=0.008, time=0.0))  # stale
+    table.update(TReport(server=1, t_value=0.002, time=0.0))
+    ret = fragment_return(0.0, this_server=0, this_t=0.010,
+                          sibling_servers=[1], n_siblings=1, table=table)
+    assert ret == pytest.approx((0.010 - 0.002) * 1)
+
+
+def test_fragment_return_dedupes_self_in_sibling_list():
+    """Layouts that include this server among the siblings must not let
+    its own (stale) table entry masquerade as another server's T."""
+    table = GlobalTTable()
+    table.update(TReport(server=0, t_value=1.0, time=0.0))
+    table.update(TReport(server=1, t_value=0.004, time=0.0))
+    with_self = fragment_return(0.0, 0, 0.010, [0, 1], 2, table)
+    without = fragment_return(0.0, 0, 0.010, [1], 2, table)
+    assert with_self == pytest.approx(without)
+    assert with_self == pytest.approx((0.010 - 0.004) * 2)
+
+
+def test_fragment_return_no_boost_without_sibling_knowledge():
+    """With no broadcast data about any *other* server the term cannot
+    claim this disk gates the request."""
+    table = GlobalTTable()
+    table.update(TReport(server=0, t_value=0.010, time=0.0))  # self only
+    ret = fragment_return(0.001, 0, 0.010, [1, 2], 2, table)
     assert ret == pytest.approx(0.001)

@@ -1,7 +1,5 @@
 """Additional PriorityStore / Store / Request edge cases."""
 
-import pytest
-
 from repro.sim import Environment, PriorityStore, Store
 
 
