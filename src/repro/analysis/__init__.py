@@ -1,16 +1,19 @@
 """Metrics, reporting and export helpers."""
 
 from .export import result_to_csv, result_to_json, save_result
-from .metrics import LatencyStats, RunResult, improvement, reduction
-from .report import format_histogram, format_table
+from .metrics import (FaultWindow, LatencyStats, RunResult, improvement,
+                      reduction)
+from .report import fault_report, format_histogram, format_table
 
 __all__ = [
     "RunResult",
     "LatencyStats",
+    "FaultWindow",
     "improvement",
     "reduction",
     "format_table",
     "format_histogram",
+    "fault_report",
     "result_to_csv",
     "result_to_json",
     "save_result",

@@ -39,6 +39,19 @@ class LatencyStats:
 
 
 @dataclass
+class FaultWindow:
+    """One applied-and-reverted fault interval of a run."""
+
+    kind: str
+    start: float
+    end: Optional[float]        # None: the fault lasted to the end of run
+    server: Optional[int] = None
+
+    def contains(self, t: float) -> bool:
+        return t >= self.start and (self.end is None or t <= self.end)
+
+
+@dataclass
 class RunResult:
     """Everything an experiment needs from one simulated run."""
 
@@ -50,6 +63,12 @@ class RunResult:
     ssd_fraction: float = 0.0
     #: Optional extra key figures an experiment wants to carry along.
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Injected fault transitions (``repro.faults`` injector records as
+    #: dicts: time, phase, event, detail), empty on fault-free runs.
+    fault_events: List[Dict] = field(default_factory=list)
+    #: Recovery counters (client retries/timeouts, dropped messages,
+    #: forfeited bytes, crashes...), empty on fault-free runs.
+    recovery: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput_mib_s(self) -> float:
@@ -70,6 +89,62 @@ class RunResult:
         """Mean request completion latency (Table III's metric)."""
         lats = self.latencies()
         return float(np.mean(lats)) if lats else 0.0
+
+    # ------------------------------------------------------------- faults
+    def fault_windows(self) -> List[FaultWindow]:
+        """Pair ``begin``/``end`` transitions into fault intervals.
+
+        A window whose fault never reverted (whole-run faults, or a run
+        that ended first) has ``end=None``.
+        """
+        windows: List[FaultWindow] = []
+        open_idx: Dict[str, List[int]] = {}
+
+        def key(rec: Dict) -> str:
+            event = dict(rec.get("event") or {})
+            return repr(sorted(event.items()))
+
+        for rec in self.fault_events:
+            k = key(rec)
+            event = rec.get("event") or {}
+            if rec["phase"] == "begin":
+                windows.append(FaultWindow(kind=event.get("kind", "?"),
+                                           start=rec["time"], end=None,
+                                           server=event.get("server")))
+                open_idx.setdefault(k, []).append(len(windows) - 1)
+            else:
+                stack = open_idx.get(k)
+                if stack:
+                    windows[stack.pop(0)].end = rec["time"]
+        return windows
+
+    def window_latencies(self, window: FaultWindow,
+                         op: Optional[Op] = None) -> List[float]:
+        """Latencies of requests *completing* inside ``window``."""
+        return [r.latency for r in self.requests
+                if r.latency is not None and (op is None or r.op is op)
+                and r.complete_time is not None
+                and window.contains(r.complete_time)]
+
+    def baseline_latencies(self, op: Optional[Op] = None) -> List[float]:
+        """Latencies of requests completing outside every fault window."""
+        windows = self.fault_windows()
+        return [r.latency for r in self.requests
+                if r.latency is not None and (op is None or r.op is op)
+                and r.complete_time is not None
+                and not any(w.contains(r.complete_time) for w in windows)]
+
+    def window_slowdown(self, window: FaultWindow) -> float:
+        """Mean in-window latency over mean fault-free latency (>= 0).
+
+        Returns 0.0 when either side has no completions to compare.
+        """
+        inside = self.window_latencies(window)
+        outside = self.baseline_latencies()
+        if not inside or not outside:
+            return 0.0
+        base = float(np.mean(outside))
+        return float(np.mean(inside)) / base if base > 0 else 0.0
 
 
 def improvement(baseline: float, improved: float) -> float:

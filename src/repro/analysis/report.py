@@ -46,3 +46,42 @@ def format_histogram(dist: dict, unit: str = "sectors", top: int = 10) -> str:
         [f"size ({unit})", "fraction"],
         [(size, f"{frac * 100:.1f}%") for size, frac in rows],
     )
+
+
+def fault_report(result) -> str:
+    """Render a run's fault windows, recovery counters and tail latencies.
+
+    ``result`` is a :class:`repro.analysis.metrics.RunResult`; on a
+    fault-free run the report says so in one line.
+    """
+    from .metrics import LatencyStats
+
+    if not result.fault_events:
+        return "no faults injected"
+    lines = []
+    rows = []
+    for w in result.fault_windows():
+        inside = result.window_latencies(w)
+        stats = LatencyStats.from_latencies(inside)
+        rows.append([
+            w.kind,
+            "all" if w.server is None else w.server,
+            round(w.start, 4),
+            "(end of run)" if w.end is None else round(w.end, 4),
+            stats.count,
+            round(result.window_slowdown(w), 2),
+            round(stats.p95 * 1e3, 3),
+            round(stats.p99 * 1e3, 3),
+        ])
+    lines.append(format_table(
+        ["fault", "server", "start", "end", "reqs in window",
+         "slowdown x", "p95 (ms)", "p99 (ms)"],
+        rows, title="Fault windows"))
+    base = LatencyStats.from_latencies(result.baseline_latencies())
+    lines.append(f"fault-free baseline: {base.count} requests, "
+                 f"p95 {base.p95 * 1e3:.3f} ms, p99 {base.p99 * 1e3:.3f} ms")
+    if result.recovery:
+        kv = "  ".join(f"{k}={v}" for k, v in sorted(result.recovery.items())
+                       if v)
+        lines.append(f"recovery: {kv or 'no recovery action needed'}")
+    return "\n".join(lines)

@@ -54,6 +54,7 @@ class ManagerAuditor:
         self.ssd_redirect_bytes = 0     # redirected into the SSD log
         self.writeback_bytes = 0        # flushed SSD log -> disk
         self.superseded_bytes = 0       # dirty bytes replaced by new writes
+        self.forfeited_bytes = 0        # dirty bytes lost to SSD fail-stop
         self.fill_bytes = 0             # clean read-miss admissions
         self.read_requested_bytes = 0   # read payload requested
         self.read_served_bytes = 0      # read payload served (ssd + disk)
@@ -89,6 +90,11 @@ class ManagerAuditor:
         self.superseded_bytes += nbytes
         self._trace("superseded", nbytes=nbytes)
 
+    def note_forfeited(self, nbytes: int) -> None:
+        """Dirty payload lost to an SSD fail-stop (failure-aware ledger)."""
+        self.forfeited_bytes += nbytes
+        self._trace("forfeited", nbytes=nbytes)
+
     def note_fill(self, nbytes: int) -> None:
         self.fill_bytes += nbytes
         self._trace("fill", nbytes=nbytes)
@@ -123,7 +129,7 @@ class ManagerAuditor:
 
     def _check_dirty_ledger(self, event: str) -> None:
         ledger = (self.ssd_redirect_bytes - self.writeback_bytes
-                  - self.superseded_bytes)
+                  - self.superseded_bytes - self.forfeited_bytes)
         actual = self.manager.mapping.dirty_bytes
         if ledger != actual:
             self._fail(
@@ -131,7 +137,8 @@ class ManagerAuditor:
                 f"after {event or 'mutation'}: conservation ledger says "
                 f"{ledger} dirty bytes (redirected {self.ssd_redirect_bytes}"
                 f" - writeback {self.writeback_bytes}"
-                f" - superseded {self.superseded_bytes}), mapping table "
+                f" - superseded {self.superseded_bytes}"
+                f" - forfeited {self.forfeited_bytes}), mapping table "
                 f"holds {actual}", event=event, ledger=ledger, actual=actual)
 
     def _check_coherence(self, event: str) -> None:
@@ -305,6 +312,7 @@ class ManagerAuditor:
                     ssd_redirect=self.ssd_redirect_bytes,
                     writeback=self.writeback_bytes,
                     superseded=self.superseded_bytes,
+                    forfeited=self.forfeited_bytes,
                     fill=self.fill_bytes,
                     read_requested=self.read_requested_bytes,
                     read_served=self.read_served_bytes,

@@ -39,6 +39,10 @@ class AuditRuntime:
         self.watchdog = (LivelockWatchdog(env, self, config.watchdog_window)
                          if config.watchdog else None)
         self._managers: List["ManagerAuditor"] = []
+        #: Number of injected faults currently active (repro.faults).
+        self.active_faults = 0
+        #: Sim time of the most recent fault begin/end transition.
+        self.last_fault_transition: float = float("-inf")
 
     # ------------------------------------------------------------- wiring
     def attach_manager(self, manager: "IBridgeManager") -> "ManagerAuditor":
@@ -54,6 +58,29 @@ class AuditRuntime:
         """Register a block queue for stall detection."""
         if self.watchdog is not None:
             self.watchdog.watch_queue(queue)
+
+    # ------------------------------------------------------------- faults
+    def fault_begin(self, kind: str, stalling: bool = True,
+                    **context) -> None:
+        """An injected fault window opened (emits ``fault_begin``).
+
+        ``stalling`` marks windows that stop block-request completions
+        by design (device fail-stop, server crash); while any such fault
+        is active the livelock watchdog stands down — a paused device
+        legitimately completes nothing for a whole window.
+        """
+        if stalling:
+            self.active_faults += 1
+        self.last_fault_transition = self.env.now
+        self.trace.emit(self.env.now, "fault_begin", fault=kind, **context)
+
+    def fault_end(self, kind: str, stalling: bool = True,
+                  **context) -> None:
+        """An injected fault window closed / recovery ran (``fault_end``)."""
+        if stalling:
+            self.active_faults = max(0, self.active_faults - 1)
+        self.last_fault_transition = self.env.now
+        self.trace.emit(self.env.now, "fault_end", fault=kind, **context)
 
     # ---------------------------------------------------------- reporting
     def violation(self, check: str, message: str, **context) -> None:

@@ -65,6 +65,15 @@ class LivelockWatchdog:
                 return
             completed = sum(q.completed for q in self._queues)
             pending = sum(q.pending for q in self._queues)
+            # Injected faults legitimately stall queues (a fail-stopped
+            # device completes nothing by design).  Stand down while any
+            # fault is active and for one full window after the last
+            # transition, and restart the no-progress comparison.
+            if (self.runtime.active_faults > 0
+                    or self.env.now - self.runtime.last_fault_transition
+                    < self.window):
+                self._prev = None
+                continue
             if (self._prev is not None
                     and pending > 0 and self._prev[1] > 0
                     and completed == self._prev[0]):

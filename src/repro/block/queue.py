@@ -49,6 +49,8 @@ class BlockQueue:
         self.name = name
         self._arrival: Event = env.event()
         self._busy = False
+        self._paused = False
+        self._resume_evt: Optional[Event] = None
         self._inflight = 0
         self._last_activity = env.now
         self._last_service_end = env.now
@@ -86,7 +88,7 @@ class BlockQueue:
 
     def idle_duration(self, now: Optional[float] = None) -> float:
         """How long the queue has been completely idle (0 when active)."""
-        if self._busy or self._inflight > 0:
+        if self._busy or self._inflight > 0 or self._paused:
             return 0.0
         return (now if now is not None else self.env.now) - self._last_activity
 
@@ -99,10 +101,40 @@ class BlockQueue:
             self._drain_waiters.append(ev)
         return ev
 
+    @property
+    def paused(self) -> bool:
+        """True while dispatching is suspended (device fail-stop)."""
+        return self._paused
+
+    def pause(self) -> None:
+        """Suspend dispatching: a fail-stop window on the device.
+
+        The dispatch in flight (if any) completes — it was already on
+        the platter — but nothing further is issued until
+        :meth:`resume`.  Queued and newly submitted requests simply
+        wait, modelling an outage the upper layers ride out via
+        timeout/retry or degraded modes.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Lift a fail-stop pause; dispatching restarts immediately."""
+        if not self._paused:
+            return
+        self._paused = False
+        if self._resume_evt is not None and not self._resume_evt.triggered:
+            self._resume_evt.succeed()
+        self._resume_evt = None
+
     # -- runner ---------------------------------------------------------
     def _run(self):
         env = self.env
         while True:
+            if self._paused:
+                if self._resume_evt is None:
+                    self._resume_evt = env.event()
+                yield self._resume_evt
+                continue
             if self.scheduler.empty:
                 # Sleep until something arrives.
                 self._arrival = env.event()

@@ -282,6 +282,49 @@ class AuditConfig:
 
 
 @dataclass(frozen=True)
+class RetryConfig:
+    """Client-side timeout/retry for PFS sub-requests.
+
+    Enabled by default with a deliberately generous timeout: even
+    outside fault-injection runs, a data server that never replies must
+    surface as a typed :class:`repro.errors.RequestTimeoutError` instead
+    of hanging the simulation silently (the livelock watchdog only runs
+    when auditing is on).  Fault experiments tighten these bounds to
+    exercise the recovery path.
+    """
+
+    enabled: bool = True
+    #: Seconds of simulated time to wait for one sub-request round trip
+    #: before retrying.  Device service times are ms-scale, so tens of
+    #: seconds of silence mean the reply is never coming.
+    timeout: float = 30.0
+    #: Retries after the first attempt; exhaustion raises
+    #: :class:`repro.errors.RequestTimeoutError`.
+    max_retries: int = 4
+    #: First retry is delayed by this much ...
+    backoff_base: float = 0.01
+    #: ... doubling (``backoff_factor``) per attempt, capped at
+    #: ``backoff_cap`` — the classic capped exponential backoff.
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+
+    def validate(self) -> None:
+        if self.timeout <= 0:
+            raise ConfigError("retry timeout must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigError("backoff bounds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based), capped exponential."""
+        return min(self.backoff_base * self.backoff_factor ** attempt,
+                   self.backoff_cap)
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Per-data-server parameters."""
 
@@ -317,6 +360,7 @@ class ClusterConfig:
     server: ServerConfig = field(default_factory=ServerConfig)
     ibridge: IBridgeConfig = field(default_factory=IBridgeConfig)
     audit: AuditConfig = field(default_factory=AuditConfig)
+    retry: RetryConfig = field(default_factory=RetryConfig)
     #: Client-side per-request overhead (MPI-IO + PVFS2 client split).
     client_overhead: float = 50 * US
     #: Uniform per-request client think-time jitter upper bound.  Models
@@ -353,6 +397,7 @@ class ClusterConfig:
         self.server.validate()
         self.ibridge.validate()
         self.audit.validate()
+        self.retry.validate()
 
     def with_ibridge(self, **overrides) -> "ClusterConfig":
         """Copy of this config with iBridge enabled (plus overrides)."""
@@ -363,6 +408,11 @@ class ClusterConfig:
         """Copy of this config with auditing enabled (plus overrides)."""
         audit = dataclasses.replace(self.audit, enabled=True, **overrides)
         return dataclasses.replace(self, audit=audit)
+
+    def with_retry(self, **overrides) -> "ClusterConfig":
+        """Copy of this config with adjusted client retry parameters."""
+        retry = dataclasses.replace(self.retry, **overrides)
+        return dataclasses.replace(self, retry=retry)
 
     def without_ibridge(self) -> "ClusterConfig":
         """Copy of this config with iBridge disabled (the stock system)."""

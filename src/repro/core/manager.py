@@ -66,6 +66,11 @@ class IBridgeStats:
     fill_bytes: int = 0
     rejected_admissions: int = 0
     negative_returns: int = 0
+    #: Dirty payload bytes lost to SSD fail-stop (hard failure forfeits
+    #: the newest copy; the disk keeps serving its stale-but-valid data).
+    forfeited_bytes: int = 0
+    #: SSD fail-stop windows this manager rode out in degraded mode.
+    ssd_outages: int = 0
 
     @property
     def ssd_fraction(self) -> float:
@@ -125,6 +130,13 @@ class IBridgeManager:
         self._by_lbn: Dict[int, CacheEntry] = {}
         self._fill_tasks: Store = Store(env)
         self.stats = IBridgeStats()
+        #: False while the server's SSD is failed: the manager bypasses
+        #: the SSD entirely (degraded mode) until :meth:`ssd_restore`.
+        self.ssd_available = True
+        # LogStore rebuild parameters for SSD replacement (ssd_restore).
+        self._log_params = (None if self._log is None else
+                            (self._log.base, self._log.region,
+                             self._log.segment_size))
         #: Invariant auditor (None unless the run enables auditing).
         self.audit = audit.attach_manager(self) if audit is not None else None
         self._shutdown = False
@@ -176,7 +188,7 @@ class IBridgeManager:
         if self.audit:
             self.audit.note_client_write(sub.nbytes)
         kind = self._classify(sub)
-        if kind is not None and self._log is not None:
+        if kind is not None and self._log is not None and self.ssd_available:
             ret = self._return_value(sub, kind, Op.WRITE)
             if ret > 0 and self.partition.admissible(kind, sub.nbytes):
                 ok = yield from self._make_room(kind, sub.nbytes)
@@ -327,7 +339,8 @@ class IBridgeManager:
 
         # Pre-loading: a miss by a redirection candidate with a positive
         # return is copied into the SSD later, when the device is idle.
-        if disk_bytes and self.ib.admit_reads and self._log is not None:
+        if (disk_bytes and self.ib.admit_reads and self._log is not None
+                and self.ssd_available):
             kind = self._classify(sub)
             if kind is not None and self.partition.admissible(kind, sub.nbytes):
                 ret = self._return_value(sub, kind, Op.READ)
@@ -369,12 +382,17 @@ class IBridgeManager:
 
     def _flush_entry(self, entry: CacheEntry, stream: int = BACKGROUND_STREAM):
         """Copy a dirty entry's bytes from the SSD log to its disk home."""
-        if not entry.dirty:
+        if not entry.dirty or entry.forfeited:
             return
         entry.busy = True
         read = self.ssd_queue.submit(Op.READ, entry.ssd_lbn, entry.nbytes,
                                      stream=stream)
         yield read.done
+        if entry.forfeited:
+            # An SSD fail-stop forfeited this entry while its log read
+            # was in flight; its bytes are already accounted as lost.
+            entry.busy = False
+            return
         ranges = self.disk_store.ranges_for_write(entry.handle, entry.start,
                                                   entry.nbytes)
         self.model.observe_disk(Op.WRITE, ranges[0][0], entry.nbytes,
@@ -382,8 +400,10 @@ class IBridgeManager:
         writes = [self.hdd_queue.submit(Op.WRITE, lbn, size, stream=stream)
                   for lbn, size in ranges]
         yield self.env.all_of([w.done for w in writes])
-        entry.dirty = False
         entry.busy = False
+        if entry.forfeited:
+            return
+        entry.dirty = False
         self.stats.writeback_bytes += entry.nbytes
         if self.audit:
             self.audit.note_writeback(entry.nbytes)
@@ -522,8 +542,12 @@ class IBridgeManager:
                                     self.hdd_queue.device.head)
             yield self.env.all_of([w.done for w in writes])
         for entry in batch:
-            entry.dirty = False
             entry.busy = False
+            if entry.forfeited:
+                # Forfeited mid-flight by an SSD fail-stop: the bytes
+                # were already accounted as lost, not written back.
+                continue
+            entry.dirty = False
             self.stats.writeback_bytes += entry.nbytes
             if self.audit:
                 self.audit.note_writeback(entry.nbytes)
@@ -551,6 +575,8 @@ class IBridgeManager:
         env = self.env
         while True:
             task = yield self._fill_tasks.get()
+            if not self.ssd_available:
+                continue  # queued before an SSD fail-stop; drop it
             handle, start, end, kind, ret = task
             # Wait for a quiet period on the SSD.
             while self.ssd_queue.idle_duration() < self.ib.writeback_idle:
@@ -595,6 +621,56 @@ class IBridgeManager:
             write = self.ssd_queue.submit(Op.WRITE, lbn, payload,
                                           stream=BACKGROUND_STREAM)
             yield write.done
+
+    # =================================================== fault handling
+    def ssd_fail(self, policy: str = "forfeit"):
+        """Take the SSD out of service (generator; fail-stop entry point).
+
+        With ``policy="drain"`` the manager first writes all dirty data
+        back to the disk (a graceful decommission / predicted-failure
+        pull); with ``policy="forfeit"`` (hard failure) dirty bytes are
+        lost — the disk keeps serving its stale-but-consistent copy and
+        the loss is accounted in ``stats.forfeited_bytes`` and the
+        auditor's forfeited ledger.  Either way the manager then runs in
+        degraded mode: every request goes to the disk until
+        :meth:`ssd_restore`.
+        """
+        if not self.ssd_available or self._log is None:
+            return
+        self.ssd_available = False
+        self.stats.ssd_outages += 1
+        if policy == "drain":
+            yield from self.flush_all()
+        forfeited = 0
+        for entry in list(self.mapping.entries):
+            entry.forfeited = True
+            if entry.dirty:
+                forfeited += entry.nbytes
+                entry.dirty = False
+            self.mapping.remove(entry)
+            self.partition.drop(entry)
+            self._log.invalidate(entry.ssd_lbn)
+            self._by_lbn.pop(entry.ssd_lbn, None)
+        self.stats.forfeited_bytes += forfeited
+        if self.audit:
+            if forfeited:
+                self.audit.note_forfeited(forfeited)
+            self.audit.check("ssd_fail")
+
+    def ssd_restore(self) -> None:
+        """Return a (replacement) SSD to service after :meth:`ssd_fail`.
+
+        The log is rebuilt empty: the replacement device holds none of
+        the old cached data, so the manager re-learns its working set.
+        """
+        if self.ssd_available:
+            return
+        if self._log_params is not None:
+            base, region, seg = self._log_params
+            self._log = LogStore(base=base, region=region, segment_size=seg)
+        self.ssd_available = True
+        if self.audit:
+            self.audit.check("ssd_restore")
 
     def shutdown(self) -> None:
         """Stop background daemons at the next poll (end of simulation)."""

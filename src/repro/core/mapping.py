@@ -46,6 +46,10 @@ class CacheEntry:
     id: int = field(default_factory=lambda: next(_entry_ids))
     #: Set while a writeback / relocation is in flight.
     busy: bool = False
+    #: Set when an SSD fail-stop forfeited this entry's dirty bytes; an
+    #: in-flight writeback that completes afterwards must not account
+    #: the entry again (see ``IBridgeManager._flush_batch``).
+    forfeited: bool = False
 
     @property
     def nbytes(self) -> int:

@@ -37,3 +37,23 @@ class AuditError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload specification."""
+
+
+class FaultError(ReproError):
+    """Errors from the fault-injection subsystem (:mod:`repro.faults`).
+
+    Raised for invalid fault plans and for failure conditions that the
+    recovery machinery could not mask (see subclasses).
+    """
+
+
+class RequestTimeoutError(FaultError):
+    """A PFS client exhausted its retry budget for one sub-request.
+
+    Carries enough context (server, sub-request id, attempts) to tell a
+    genuinely dead server from a too-tight retry configuration.
+    """
+
+
+class DeviceFailedError(StorageError):
+    """I/O issued to a device inside a fail-stop window."""

@@ -7,12 +7,13 @@ the fraction of the paper's 10 GB working set to simulate.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import List, Optional
 
 from ..config import AuditConfig
-from .common import DEFAULT_SCALE, set_default_audit
+from .common import DEFAULT_SCALE, set_default_audit, set_default_fault_plan
 from .registry import EXPERIMENTS, get
 
 
@@ -34,7 +35,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--audit-trace", metavar="PATH", default=None,
                         help="mirror audit trace events to a JSONL file "
                              "(implies --audit)")
+    parser.add_argument("--fault-plan", metavar="PATH", default=None,
+                        help="run the experiment under the fault plan in "
+                             "PATH (JSON, or YAML with PyYAML installed); "
+                             "applies to every cluster the experiment "
+                             "builds via measure()")
+    parser.add_argument("--degrade-factor", type=float, default=None,
+                        help="slowdown factor for experiments with a "
+                             "degraded-disk knob (e.g. 'degraded')")
     args = parser.parse_args(argv)
+
+    if args.fault_plan:
+        from ..faults import FaultPlan
+        set_default_fault_plan(FaultPlan.from_file(args.fault_plan))
 
     if args.audit or args.audit_trace:
         if args.audit_trace:
@@ -56,8 +69,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.name == "all" else [args.name]
     for name in names:
         runner = get(name)
+        kwargs = {"scale": args.scale}
+        # Optional knobs are forwarded only to experiments that take
+        # them, so 'all' keeps working with any flag combination.
+        if args.degrade_factor is not None:
+            params = inspect.signature(runner).parameters
+            if "degrade_factor" in params:
+                kwargs["degrade_factor"] = args.degrade_factor
         start = time.time()
-        result = runner(scale=args.scale)
+        result = runner(**kwargs)
         elapsed = time.time() - start
         print(result)
         print(f"  [{name} finished in {elapsed:.1f}s wall time]")

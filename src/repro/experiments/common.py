@@ -76,6 +76,18 @@ def set_default_audit(audit: Optional[AuditConfig]) -> None:
     _DEFAULT_AUDIT = audit
 
 
+#: Process-wide fault-plan default applied by :func:`measure` — set by
+#: the CLI's ``--fault-plan`` flag so any experiment can be re-run under
+#: an injected failure scenario without code changes.
+_DEFAULT_FAULT_PLAN = None
+
+
+def set_default_fault_plan(plan) -> None:
+    """Install (or clear, with ``None``) the fault plan experiments use."""
+    global _DEFAULT_FAULT_PLAN
+    _DEFAULT_FAULT_PLAN = plan
+
+
 def base_config(num_servers: int = 8, ibridge: bool = False,
                 **overrides) -> ClusterConfig:
     """The paper's testbed configuration (Section III-A)."""
@@ -101,9 +113,15 @@ def scaled_ibridge(cfg: ClusterConfig, scale: float,
 
 
 def measure(cfg: ClusterConfig, workload: Workload, warm_runs: int = 0,
-            trace_disk: bool = False):
-    """Build a fresh cluster, run the workload, return (result, cluster)."""
-    cluster = Cluster(cfg, trace_disk=trace_disk)
+            trace_disk: bool = False, fault_plan=None):
+    """Build a fresh cluster, run the workload, return (result, cluster).
+
+    ``fault_plan`` (or, when omitted, the process-wide default installed
+    by :func:`set_default_fault_plan`) runs the workload under injected
+    faults; the result then carries the fault/recovery telemetry.
+    """
+    plan = fault_plan if fault_plan is not None else _DEFAULT_FAULT_PLAN
+    cluster = Cluster(cfg, trace_disk=trace_disk, fault_plan=plan)
     result = run_workload(cluster, workload, warm_runs=warm_runs)
     return result, cluster
 

@@ -6,7 +6,10 @@ sub-requests to wait will produce a larger average return value and
 have greater SSD space allocated".
 
 One data server gets an aging disk (doubled rotational latency and
-seek times).  Because a striped request completes only when its
+seek times), expressed as a whole-run *fail-slow* fault window from
+``repro.faults`` — the same mechanism ad-hoc failure studies use, so
+the degradation composes with any other plan and shows up in the run's
+fault telemetry.  Because a striped request completes only when its
 slowest piece does, the degraded server gates *every* multi-server
 request.  With the striping-magnification term enabled, that server's
 higher broadcast T value boosts the return of its fragments, so its
@@ -20,19 +23,25 @@ import dataclasses
 
 from ..config import HDDConfig
 from ..devices.base import Op
-from ..pfs.cluster import Cluster
+from ..faults import FaultPlan, fail_slow
 from ..units import KiB
-from ..workloads.base import run_workload
 from ..workloads.mpi_io_test import MpiIoTest
 from .common import (DEFAULT_SCALE, ExperimentResult, base_config, file_bytes,
-                     scaled_ibridge)
+                     measure, scaled_ibridge)
 
-#: How much slower the degraded disk's mechanics are.
+#: How much slower the degraded disk's mechanics are (CLI:
+#: ``--degrade-factor``).
 DEGRADE_FACTOR = 2.0
 
 
 def degraded_hdd(base: HDDConfig, factor: float = DEGRADE_FACTOR) -> HDDConfig:
-    """An aging disk: slower positioning, same transfer rates."""
+    """An aging disk as a *config*: slower positioning, same transfer.
+
+    Kept for heterogeneous-hardware studies via ``Cluster``'s
+    ``hdd_overrides``; the experiment itself now injects the slowdown
+    as a fail-slow fault plan (see :func:`aging_disk_plan`), which
+    models the same mechanics degradation on an unchanged config.
+    """
     return dataclasses.replace(
         base,
         seek_base=base.seek_base * factor,
@@ -42,11 +51,19 @@ def degraded_hdd(base: HDDConfig, factor: float = DEGRADE_FACTOR) -> HDDConfig:
     )
 
 
+def aging_disk_plan(server: int, factor: float = DEGRADE_FACTOR) -> FaultPlan:
+    """A whole-run fail-slow window on one server's disk mechanics."""
+    return FaultPlan.single(fail_slow(server, factor),
+                            name=f"aging-disk-s{server}-x{factor:g}")
+
+
 def run(scale: float = DEFAULT_SCALE, nprocs: int = 64,
-        degraded_server: int = 3) -> ExperimentResult:
+        degraded_server: int = 3,
+        degrade_factor: float = DEGRADE_FACTOR) -> ExperimentResult:
     result = ExperimentResult(
         name="degraded",
-        title="Extension — degraded disk on one server (65KiB writes, MiB/s)",
+        title=(f"Extension — degraded disk (fail-slow x{degrade_factor:g}) "
+               f"on one server (65KiB writes, MiB/s)"),
         headers=["system", "throughput", "ssd%", "frag redirects@slow",
                  "frag redirects/other server"],
     )
@@ -54,7 +71,7 @@ def run(scale: float = DEFAULT_SCALE, nprocs: int = 64,
     wl_args = dict(nprocs=nprocs, request_size=size,
                    file_size=file_bytes(scale, nprocs, size), op=Op.WRITE)
     base = base_config()
-    overrides = {degraded_server: degraded_hdd(base.hdd)}
+    plan = aging_disk_plan(degraded_server, degrade_factor)
 
     # Eq. 3's contribution is evaluated under the *literal* Eq. 1 policy:
     # there the base return of a fragment hovers near zero, so the
@@ -73,8 +90,7 @@ def run(scale: float = DEFAULT_SCALE, nprocs: int = 64,
                         use_sibling_term=False), False),
     ]
     for label, cfg, _sib in systems:
-        cluster = Cluster(cfg, hdd_overrides=overrides)
-        res = run_workload(cluster, MpiIoTest(**wl_args))
+        res, cluster = measure(cfg, MpiIoTest(**wl_args), fault_plan=plan)
         if cfg.ibridge.enabled:
             slow = cluster.servers[degraded_server]
             others = [s for s in cluster.servers if s is not slow]

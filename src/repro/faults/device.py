@@ -1,0 +1,116 @@
+"""Transparent fault wrapper around a :class:`repro.devices.Device`.
+
+The wrapper interposes on the timing interface only: positioning time is
+scaled by ``latency_mult`` (an aging spindle's seeks/settles) and
+transfer time by ``bw_mult`` (a throttled or degraded medium), while all
+state — head position, stats, config — lives in (and is forwarded to)
+the wrapped device.  Swapping a wrapper in for the original device is
+therefore invisible to the block layer, the local store, and the
+experiment stats readers; only service times change.
+
+Fail-stop is modelled at the *queue* level (a failed device's
+:class:`~repro.block.queue.BlockQueue` is paused so pending requests
+wait for recovery); the wrapper's ``failed`` flag exists as a hard
+backstop — serving a request on a failed device is a simulation bug and
+raises :class:`repro.errors.DeviceFailedError`.
+"""
+
+from __future__ import annotations
+
+from ..devices.base import Device, Op
+from ..errors import DeviceFailedError
+
+
+class FaultableDevice:
+    """Delegating proxy over a device with fail-slow/fail-stop state."""
+
+    #: Attributes owned by the wrapper itself; everything else is
+    #: forwarded to the wrapped device (reads *and* writes, so existing
+    #: code that pokes ``device._head`` etc. keeps working).
+    _OWN = frozenset({"_inner", "latency_mult", "bw_mult", "failed"})
+
+    def __init__(self, inner: Device) -> None:
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "latency_mult", 1.0)
+        object.__setattr__(self, "bw_mult", 1.0)
+        object.__setattr__(self, "failed", False)
+
+    # ----------------------------------------------------------- delegation
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_inner"), name)
+
+    def __setattr__(self, name, value):
+        if name in type(self)._OWN:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._inner, name, value)
+
+    @property
+    def inner(self) -> Device:
+        """The wrapped device."""
+        return self._inner
+
+    @property
+    def degraded(self) -> bool:
+        return self.latency_mult != 1.0 or self.bw_mult != 1.0
+
+    # ------------------------------------------------------------- faults
+    def set_slowdown(self, latency_mult: float = 1.0,
+                     bw_mult: float = 1.0) -> None:
+        """Enter (or, with 1.0/1.0, leave) a fail-slow window."""
+        self.latency_mult = float(latency_mult)
+        self.bw_mult = float(bw_mult)
+
+    def clear_slowdown(self) -> None:
+        self.set_slowdown(1.0, 1.0)
+
+    def fail_stop(self) -> None:
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    # -------------------------------------------------------- timing model
+    def positioning_time(self, op: Op, lbn: int, nbytes: int) -> float:
+        return self._inner.positioning_time(op, lbn, nbytes) * self.latency_mult
+
+    def transfer_time(self, op: Op, nbytes: int) -> float:
+        return self._inner.transfer_time(op, nbytes) * self.bw_mult
+
+    def estimate_service_time(self, op: Op, lbn: int, nbytes: int) -> float:
+        self._inner.check_range(lbn, nbytes)
+        return (self.positioning_time(op, lbn, nbytes)
+                + self.transfer_time(op, nbytes))
+
+    def serve(self, op: Op, lbn: int, nbytes: int,
+              idle_gap: float = 0.0) -> float:
+        # Mirrors Device.serve with the scaled timing components, so the
+        # wrapped device's stats record the times actually charged.
+        if self.failed:
+            raise DeviceFailedError(
+                f"{self._inner.name}: I/O at lbn={lbn} on a failed device "
+                f"(fail-stop windows must pause the block queue)")
+        inner = self._inner
+        inner.check_range(lbn, nbytes)
+        if idle_gap > 0.0:
+            inner.notice_idle(idle_gap)
+        pos = self.positioning_time(op, lbn, nbytes)
+        xfer = self.transfer_time(op, nbytes)
+        inner._head = lbn + nbytes
+        inner._after_serve()
+        inner.stats.positioning_time += pos
+        inner.stats.busy_time += pos + xfer
+        if op.is_write:
+            inner.stats.writes += 1
+            inner.stats.bytes_written += nbytes
+        else:
+            inner.stats.reads += 1
+            inner.stats.bytes_read += nbytes
+        return pos + xfer
+
+
+def faultable(device: Device) -> FaultableDevice:
+    """Wrap ``device`` (idempotent: wrappers are returned unchanged)."""
+    if isinstance(device, FaultableDevice):
+        return device
+    return FaultableDevice(device)

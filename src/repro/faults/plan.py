@@ -1,0 +1,266 @@
+"""Declarative fault plans: what breaks, where, when, and how badly.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` windows
+scheduled on the *simulated* clock.  Plans are plain data — dataclasses
+round-trippable through dicts, JSON, and (when PyYAML is installed)
+YAML — so a failing scenario can be checked into a repo and replayed
+bit-identically: all stochastic behaviour a plan triggers (network
+message drops) draws from :func:`repro.util.rng.rng_stream` substreams
+derived from the cluster seed plus the plan name, never from global
+randomness.
+
+Event taxonomy (see docs/FAULTS.md for recovery semantics):
+
+========================  ====================================================
+``device_slow``           Fail-slow window on one disk (or a server's SSD):
+                          positioning/latency and transfer/bandwidth
+                          multipliers wrap the device timing model.  iBridge's
+                          service model sees the same degradation, as the
+                          paper's measured EWMA would.
+``device_fail``           Fail-stop window on one disk: its block queue is
+                          paused; pending and new requests wait for recovery.
+``ssd_fail``              SSD fail-stop on one server.  iBridge enters
+                          SSD-bypass degraded mode: the dirty log is drained
+                          (``policy="drain"``, graceful removal) or forfeited
+                          (``policy="forfeit"``, hard failure), all traffic is
+                          routed to the disks, and the cache is re-admitted
+                          once the (replacement) SSD returns.
+``net_delay``             Every message touching the target endpoints pays an
+                          extra fixed delay.
+``net_drop``              Messages touching the target endpoints are dropped
+                          with probability ``drop_prob`` (deterministic RNG
+                          substream); client retry recovers.
+``server_crash``          Data-server crash: replies in flight are lost and
+                          new requests are ignored until the restart at the
+                          window end.  Client timeout/retry recovers.
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from ..errors import FaultError
+
+
+class FaultKind(str, Enum):
+    """The supported fault classes."""
+
+    DEVICE_SLOW = "device_slow"
+    DEVICE_FAIL = "device_fail"
+    SSD_FAIL = "ssd_fail"
+    NET_DELAY = "net_delay"
+    NET_DROP = "net_drop"
+    SERVER_CRASH = "server_crash"
+
+
+#: Events with ``duration=None`` never revert (whole-run faults).
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault window."""
+
+    kind: FaultKind
+    #: Simulated start time (seconds) relative to injector installation.
+    start: float = 0.0
+    #: Window length; ``None`` means the fault lasts to the end of run.
+    duration: Optional[float] = None
+    #: Target data server id (``None`` = all servers, where sensible).
+    server: Optional[int] = None
+    #: Disk index within the server (device_slow / device_fail).
+    disk: int = 0
+    #: device_slow: multiplier on positioning / per-command latency.
+    latency_mult: float = 1.0
+    #: device_slow: multiplier on transfer time (inverse bandwidth).
+    bw_mult: float = 1.0
+    #: device_slow targets "hdd" (default) or "ssd".
+    device: str = "hdd"
+    #: net_delay: extra one-way delay per message (seconds).
+    delay: float = 0.0
+    #: net_drop: per-message drop probability.
+    drop_prob: float = 0.0
+    #: ssd_fail: "forfeit" (hard fail-stop, dirty bytes lost) or
+    #: "drain" (graceful removal, dirty log written back first).
+    policy: str = "forfeit"
+
+    def validate(self) -> None:
+        if self.start < 0:
+            raise FaultError(f"fault start must be non-negative, got {self.start}")
+        if self.duration is not None and self.duration <= 0:
+            raise FaultError(f"fault duration must be positive, got {self.duration}")
+        if self.kind in (FaultKind.DEVICE_SLOW, FaultKind.DEVICE_FAIL,
+                         FaultKind.SSD_FAIL, FaultKind.SERVER_CRASH):
+            if self.server is None:
+                raise FaultError(f"{self.kind.value} needs a target server")
+        if self.kind in (FaultKind.DEVICE_FAIL, FaultKind.SERVER_CRASH,
+                         FaultKind.SSD_FAIL) and self.duration is None:
+            raise FaultError(
+                f"{self.kind.value} needs a finite duration: an unrecovered "
+                f"fail-stop can never drain at end of run")
+        if self.kind is FaultKind.DEVICE_SLOW:
+            if self.latency_mult < 1.0 or self.bw_mult < 1.0:
+                raise FaultError("fail-slow multipliers must be >= 1")
+            if self.latency_mult == 1.0 and self.bw_mult == 1.0:
+                raise FaultError("device_slow with both multipliers at 1 "
+                                 "is a no-op")
+            if self.device not in ("hdd", "ssd"):
+                raise FaultError(f"unknown device {self.device!r}")
+        if self.kind is FaultKind.NET_DELAY and self.delay <= 0:
+            raise FaultError("net_delay needs a positive delay")
+        if self.kind is FaultKind.NET_DROP:
+            if not 0.0 < self.drop_prob <= 1.0:
+                raise FaultError("net_drop needs drop_prob in (0, 1]")
+        if self.kind is FaultKind.SSD_FAIL and self.policy not in ("forfeit",
+                                                                   "drain"):
+            raise FaultError(f"unknown ssd_fail policy {self.policy!r}")
+        if self.disk < 0:
+            raise FaultError("disk index must be non-negative")
+
+    @property
+    def end(self) -> Optional[float]:
+        """Window end time, or ``None`` for whole-run faults."""
+        if self.duration is None:
+            return None
+        return self.start + self.duration
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind.value}
+        for f in dataclasses.fields(self):
+            if f.name == "kind":
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        data = dict(data)
+        try:
+            kind = FaultKind(data.pop("kind"))
+        except (KeyError, ValueError) as exc:
+            raise FaultError(f"fault event needs a valid kind: {exc}") from None
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultError(f"unknown fault event fields: {sorted(unknown)}")
+        event = cls(kind=kind, **data)
+        event.validate()
+        return event
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, validated set of fault events for one run."""
+
+    events: tuple = ()
+    #: Used (with the cluster seed) to derive the RNG substreams for
+    #: stochastic faults, so the same plan replays bit-identically.
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise FaultError(f"not a FaultEvent: {event!r}")
+            event.validate()
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict) or "events" not in data:
+            raise FaultError("a fault plan is a mapping with an 'events' list")
+        events = [FaultEvent.from_dict(e) for e in data["events"]]
+        plan = cls(events=tuple(events), name=data.get("name", "fault-plan"))
+        plan.validate()
+        return plan
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON (or, with PyYAML installed, YAML) file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        if path.endswith((".yml", ".yaml")):
+            try:
+                import yaml  # type: ignore
+            except ImportError as exc:  # pragma: no cover - env dependent
+                raise FaultError(
+                    "YAML fault plans need PyYAML; use JSON instead") from exc
+            data = yaml.safe_load(text)
+        else:
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise FaultError(f"invalid fault plan in {path}: {exc}") from None
+        return cls.from_dict(data)
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def single(cls, event: FaultEvent, name: str = "fault-plan") -> "FaultPlan":
+        plan = cls(events=(event,), name=name)
+        plan.validate()
+        return plan
+
+
+@dataclass
+class FaultRecord:
+    """One applied/reverted fault transition (the injector's own log).
+
+    Kept independently of the audit trace so replay-determinism can be
+    asserted even on unaudited runs.
+    """
+
+    time: float
+    phase: str          # "begin" | "end"
+    event: FaultEvent
+    detail: dict = field(default_factory=dict)
+
+    def signature(self) -> tuple:
+        """Hashable identity used by determinism tests."""
+        return (round(self.time, 9), self.phase, self.event.to_dict(),
+                tuple(sorted(self.detail.items())))
+
+
+def fail_slow(server: int, factor: float, start: float = 0.0,
+              duration: Optional[float] = None, disk: int = 0,
+              bw_mult: float = 1.0, device: str = "hdd") -> FaultEvent:
+    """Convenience: a positioning-latency fail-slow window.
+
+    ``factor`` multiplies positioning (seek/rotation/settle) time — the
+    signature of an aging spindle; transfer bandwidth is scaled
+    separately via ``bw_mult``.
+    """
+    return FaultEvent(kind=FaultKind.DEVICE_SLOW, server=server, disk=disk,
+                      start=start, duration=duration, latency_mult=factor,
+                      bw_mult=bw_mult, device=device)
+
+
+def ssd_outage(server: int, start: float, duration: float,
+               policy: str = "forfeit") -> FaultEvent:
+    """Convenience: an SSD fail-stop window with recovery at the end."""
+    return FaultEvent(kind=FaultKind.SSD_FAIL, server=server, start=start,
+                      duration=duration, policy=policy)
+
+
+def server_outage(server: int, start: float, duration: float) -> FaultEvent:
+    """Convenience: a data-server crash window (restart at the end)."""
+    return FaultEvent(kind=FaultKind.SERVER_CRASH, server=server, start=start,
+                      duration=duration)
+
+
+ALL_KINDS: List[str] = [k.value for k in FaultKind]

@@ -1,5 +1,5 @@
 """Network fabric model."""
 
-from .network import Network, NetworkStats
+from .network import NetFault, Network, NetworkStats
 
-__all__ = ["Network", "NetworkStats"]
+__all__ = ["Network", "NetworkStats", "NetFault"]

@@ -10,8 +10,9 @@ per-message overhead and propagation latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
 
 from ..config import NetworkConfig
 from ..sim import Environment, Event, Resource
@@ -24,6 +25,36 @@ class NetworkStats:
     messages: int = 0
     bytes: int = 0
     wire_time: float = 0.0
+    #: Messages lost to an active drop-fault window (never delivered).
+    dropped: int = 0
+    #: Accumulated extra latency charged by delay-fault windows.
+    fault_delay_time: float = 0.0
+
+
+_fault_ids = itertools.count(1)
+
+
+@dataclass
+class NetFault:
+    """One active network fault window (installed by the injector).
+
+    ``endpoints`` limits the fault to messages whose source *or*
+    destination is in the set; ``None`` degrades the whole fabric.
+    Multiple overlapping windows stack: delays add, drop probabilities
+    combine independently.
+    """
+
+    delay: float = 0.0
+    drop_prob: float = 0.0
+    endpoints: Optional[Set[str]] = None
+    #: Deterministic RNG for drop decisions (a :mod:`repro.util.rng`
+    #: substream; required when ``drop_prob > 0``).
+    rng: object = None
+    id: int = field(default_factory=lambda: next(_fault_ids))
+
+    def applies(self, src: str, dst: str) -> bool:
+        return (self.endpoints is None or src in self.endpoints
+                or dst in self.endpoints)
 
 
 class Network:
@@ -36,6 +67,37 @@ class Network:
         self._egress: Dict[str, Resource] = {}
         self._ingress: Dict[str, Resource] = {}
         self.stats = NetworkStats()
+        self._faults: List[NetFault] = []
+
+    # ------------------------------------------------------------- faults
+    def add_fault(self, fault: NetFault) -> NetFault:
+        """Activate a fault window (returned so it can be removed)."""
+        self._faults.append(fault)
+        return fault
+
+    def remove_fault(self, fault: NetFault) -> None:
+        """Deactivate a fault window (idempotent)."""
+        try:
+            self._faults.remove(fault)
+        except ValueError:
+            pass
+
+    @property
+    def faults_active(self) -> int:
+        return len(self._faults)
+
+    def _fault_effects(self, src: str, dst: str):
+        """(extra_delay, dropped?) under the currently active windows."""
+        delay = 0.0
+        dropped = False
+        for fault in self._faults:
+            if not fault.applies(src, dst):
+                continue
+            delay += fault.delay
+            if (not dropped and fault.drop_prob > 0.0 and fault.rng is not None
+                    and fault.rng.random() < fault.drop_prob):
+                dropped = True
+        return delay, dropped
 
     def _nic(self, table: Dict[str, Resource], endpoint: str) -> Resource:
         nic = table.get(endpoint)
@@ -59,6 +121,16 @@ class Network:
         env = self.env
         cfg = self.config
         yield env.timeout(cfg.message_overhead)
+        if self._faults:
+            extra_delay, dropped = self._fault_effects(src, dst)
+            if dropped:
+                # The message is lost: ``done`` never fires.  Recovery
+                # is the sender's job (client timeout/retry).
+                self.stats.dropped += 1
+                return
+            if extra_delay > 0.0:
+                self.stats.fault_delay_time += extra_delay
+                yield env.timeout(extra_delay)
         wire = nbytes / cfg.bandwidth
         if nbytes > 0:
             # Hold both NICs for the wire time: concurrent transfers at

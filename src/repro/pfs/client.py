@@ -11,35 +11,44 @@ needs for Eq. 3.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..config import ClusterConfig
 from ..devices.base import Op
-from ..errors import ProtocolError
+from ..errors import FaultError, ProtocolError, RequestTimeoutError
 from ..net import Network
 from ..sim import Environment, Event
 from ..util.rng import rng_stream
 from .layout import StripeLayout
 from .messages import ParentRequest, SubRequest
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..audit.runtime import AuditRuntime
+
 
 class PFSClient:
     """One compute-node client (shared by that node's ranks)."""
 
     def __init__(self, env: Environment, client_id: int, config: ClusterConfig,
-                 layout: StripeLayout, servers: List, network: Network) -> None:
+                 layout: StripeLayout, servers: List, network: Network,
+                 audit: Optional["AuditRuntime"] = None) -> None:
         self.env = env
         self.id = client_id
         self.config = config
         self.layout = layout
         self.servers = servers
         self.network = network
+        self.audit = audit
         self.name = f"client{client_id}"
         self._rng = rng_stream(config.seed, f"client:{client_id}")
         self.completed: List[ParentRequest] = []
         #: When set, completed parent requests are appended here too
         #: (shared collector installed by the workload runner).
         self.collector: Optional[List[ParentRequest]] = None
+        #: Recovery counters (see ClusterConfig.retry).
+        self.timeouts = 0       # sub-request attempts that hit the deadline
+        self.retries = 0        # attempts re-issued after a timeout
+        self.failures = 0       # parent requests failed after exhaustion
 
     # ------------------------------------------------------------- splitting
     def split(self, parent: ParentRequest) -> List[SubRequest]:
@@ -89,18 +98,32 @@ class PFSClient:
     def _request(self, parent: ParentRequest, done: Event):
         env = self.env
         parent.submit_time = env.now
-        # Per-request OS/runtime noise; this is what makes concurrent
-        # ranks drift out of phase (see ClusterConfig.client_jitter).
-        jitter = (self._rng.random() * self.config.client_jitter
-                  if self.config.client_jitter > 0 else 0.0)
-        yield env.timeout(self.config.client_overhead + jitter)
-        subs = self.split(parent)
-        completions = []
-        for sub in subs:
-            completions.append(self._sub_round_trip(sub))
-        # A request is complete only when its slowest sub-request is —
-        # the synchronous-request property the paper's analysis hinges on.
-        yield env.all_of(completions)
+        try:
+            # Per-request OS/runtime noise; this is what makes concurrent
+            # ranks drift out of phase (see ClusterConfig.client_jitter).
+            jitter = (self._rng.random() * self.config.client_jitter
+                      if self.config.client_jitter > 0 else 0.0)
+            yield env.timeout(self.config.client_overhead + jitter)
+            subs = self.split(parent)
+            completions = []
+            for sub in subs:
+                completions.append(self._sub_round_trip(sub))
+            # A request is complete only when its slowest sub-request is —
+            # the synchronous-request property the paper's analysis hinges
+            # on.
+            yield env.all_of(completions)
+        except FaultError as exc:
+            # Retry exhaustion (or another injected-fault error) must
+            # fail ``done`` rather than silently killing this process:
+            # a waiter yielding ``done`` gets the typed exception instead
+            # of deadlocking on an event that never fires.
+            self.failures += 1
+            if self.audit is not None:
+                self.audit.trace.emit(env.now, "client_give_up",
+                                      client=self.id, parent=parent.id,
+                                      error=type(exc).__name__)
+            done.fail(exc)
+            return
         parent.complete_time = env.now
         self.completed.append(parent)
         if self.collector is not None:
@@ -108,19 +131,62 @@ class PFSClient:
         done.succeed(parent)
 
     def _sub_round_trip(self, sub: SubRequest) -> Event:
-        """Request message -> server job -> response message."""
+        """Request message -> server job -> response message.
+
+        The whole round trip is one *attempt*; with retry enabled (the
+        default) each attempt races a deadline, and a timed-out attempt
+        is re-issued after capped exponential backoff.  A lost request
+        or reply message, a crashed server, or a fail-stopped device all
+        look identical from here — no completion before the deadline —
+        which is exactly the failure model of a real RPC layer.  Retries
+        are at-least-once: a slow (not lost) attempt may still complete
+        after its deadline, and the server may serve a sub-request
+        twice; servers are idempotent for both reads and writes.
+        """
         env = self.env
         server = self.servers[sub.server]
+        retry = self.config.retry
         finished = env.event()
 
-        def run():
+        def attempt(attempt_done: Event):
             req_payload = sub.nbytes if sub.op is Op.WRITE else 0
             yield self.network.send(self.name, server.name, req_payload)
             served = server.submit(sub)
             yield served
             resp_payload = sub.nbytes if sub.op is Op.READ else 0
             yield self.network.send(server.name, self.name, resp_payload)
-            finished.succeed(sub)
+            if not attempt_done.triggered:
+                attempt_done.succeed(sub)
+
+        def run():
+            if not retry.enabled:
+                one = env.event()
+                env.process(attempt(one), name=f"{self.name}-s{sub.id}a0")
+                yield one
+                finished.succeed(sub)
+                return
+            attempts = retry.max_retries + 1
+            for i in range(attempts):
+                attempt_done = env.event()
+                env.process(attempt(attempt_done),
+                            name=f"{self.name}-s{sub.id}a{i}")
+                deadline = env.timeout(retry.timeout)
+                fired = yield env.any_of([attempt_done, deadline])
+                if attempt_done in fired:
+                    finished.succeed(sub)
+                    return
+                self.timeouts += 1
+                if self.audit is not None:
+                    self.audit.trace.emit(
+                        env.now, "client_timeout", client=self.id,
+                        sub=sub.id, server=sub.server, attempt=i)
+                if i + 1 < attempts:
+                    self.retries += 1
+                    yield env.timeout(retry.backoff(i))
+            finished.fail(RequestTimeoutError(
+                f"{self.name}: sub-request {sub.id} to server {sub.server} "
+                f"got no reply after {attempts} attempts "
+                f"(timeout {retry.timeout}s each)"))
 
         env.process(run(), name=f"{self.name}-s{sub.id}")
         return finished

@@ -46,13 +46,18 @@ class Cluster:
 
     def __init__(self, config: Optional[ClusterConfig] = None,
                  trace_disk: bool = False,
-                 hdd_overrides: Optional[Dict[int, object]] = None) -> None:
+                 hdd_overrides: Optional[Dict[int, object]] = None,
+                 fault_plan=None) -> None:
         """Build the cluster.
 
         ``hdd_overrides`` maps a server id to an :class:`HDDConfig` used
         for that server's disk(s) instead of ``config.hdd`` — for
         heterogeneous/degraded-hardware studies (one aging disk gates
         every striped request; see ``repro.experiments.degraded``).
+
+        ``fault_plan`` (a :class:`repro.faults.FaultPlan`) installs a
+        fault injector over the finished cluster; the injector is
+        exposed as :attr:`faults`.
         """
         self.config = config or ClusterConfig()
         self.config.validate()
@@ -86,6 +91,11 @@ class Cluster:
         self.mds.bind_servers(self.servers)
         self._clients: Dict[int, PFSClient] = {}
         self.requests: List[ParentRequest] = []
+        self.faults = None
+        if fault_plan is not None and len(fault_plan):
+            from ..faults import FaultInjector
+            self.faults = FaultInjector(self, fault_plan,
+                                        audit=self.audit).install()
 
     # ------------------------------------------------------------- clients
     def client(self, client_id: int = 0) -> PFSClient:
@@ -93,7 +103,7 @@ class Cluster:
         cl = self._clients.get(client_id)
         if cl is None:
             cl = PFSClient(self.env, client_id, self.config, self.layout,
-                           self.servers, self.network)
+                           self.servers, self.network, audit=self.audit)
             cl.collector = self.requests
             self._clients[client_id] = cl
         return cl

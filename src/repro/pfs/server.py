@@ -107,6 +107,12 @@ class DataServer:
 
         self._slots = Resource(env, capacity=config.server.io_depth)
         self.stats = ServerStats()
+        #: Crash-fault state (repro.faults): while crashed the server
+        #: accepts no jobs and sends no replies; the epoch distinguishes
+        #: pre-crash jobs whose replies must be lost after a restart.
+        self.crashed = False
+        self.epoch = 0
+        self.crashes = 0
 
     # --------------------------------------------------- single-disk views
     @property
@@ -163,12 +169,19 @@ class DataServer:
 
     # ------------------------------------------------------------- serving
     def submit(self, sub: SubRequest) -> Event:
-        """Accept a sub-request; the event fires when it is served."""
+        """Accept a sub-request; the event fires when it is served.
+
+        A crashed server accepts nothing: the returned event never
+        fires, and the client's timeout/retry path recovers.
+        """
         done = self.env.event()
-        self.env.process(self._job(sub, done), name=f"{self.name}-job")
+        if self.crashed:
+            return done
+        self.env.process(self._job(sub, done, self.epoch),
+                         name=f"{self.name}-job")
         return done
 
-    def _job(self, sub: SubRequest, done: Event):
+    def _job(self, sub: SubRequest, done: Event, epoch: int):
         env = self.env
         with self._slots.request() as slot:
             yield slot
@@ -183,7 +196,41 @@ class DataServer:
                 yield from unit.ibridge.handle(sub)
             else:
                 yield from self._stock_io(sub)
+        if self.crashed or self.epoch != epoch:
+            # The server crashed while this job was in flight: whatever
+            # the devices completed stays done, but the reply is lost.
+            # The client retries against the restarted server.
+            return
         done.succeed(sub)
+
+    # ------------------------------------------------------------- faults
+    def crash(self) -> None:
+        """Fail-stop the whole server (devices pause, replies are lost)."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        self.epoch += 1
+        for unit in self.disks:
+            unit.queue.pause()
+        self.ssd_queue.pause()
+
+    def restart(self) -> None:
+        """Bring the server back after :meth:`crash`.
+
+        In-memory PFS state survives because the interesting recovery
+        state is on stable storage already: the iBridge mapping table is
+        persisted on the SSD alongside every dirty entry (see
+        ``TABLE_ENTRY_BYTES``), so the restarted server re-reads it and
+        resumes with its dirty log intact — the paper's crash-recovery
+        story for redirected writes.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        for unit in self.disks:
+            unit.queue.resume()
+        self.ssd_queue.resume()
 
     def _stock_io(self, sub: SubRequest):
         """Serve directly from the primary store (no iBridge)."""

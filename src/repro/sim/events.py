@@ -161,6 +161,12 @@ class AllOf(Condition):
 
     def _check(self, event: Event) -> None:
         if self._triggered:
+            # A member failing after the condition resolved (e.g. two
+            # sub-request retries exhausting at the same instant) is
+            # already accounted for by the condition's own failure —
+            # defuse it so it cannot surface as an unhandled event.
+            if not event._ok:
+                event.defuse()
             return
         if not event._ok:
             self._on_failure(event)
@@ -177,6 +183,10 @@ class AnyOf(Condition):
 
     def _check(self, event: Event) -> None:
         if self._triggered:
+            # A loser of the race that *fails* later (a timed-out retry
+            # attempt, a drained member) was raced on purpose; absorb it.
+            if not event._ok:
+                event.defuse()
             return
         if not event._ok:
             self._on_failure(event)

@@ -74,13 +74,30 @@ def run_workload(cluster: Cluster, workload: Workload, drain: bool = True,
     makespan = cluster.env.now - start
 
     stats = cluster.ibridge_stats()
-    return RunResult(
+    result = RunResult(
         name=workload.name,
         makespan=makespan,
         total_bytes=workload.total_bytes,
         requests=list(cluster.requests),
         ssd_fraction=stats.ssd_fraction if stats else 0.0,
     )
+    if cluster.faults is not None:
+        result.fault_events = [
+            {"time": r.time, "phase": r.phase, "event": r.event.to_dict(),
+             "detail": dict(r.detail)}
+            for r in cluster.faults.records]
+        result.recovery = {
+            "timeouts": float(sum(c.timeouts for c in cluster._clients.values())),
+            "retries": float(sum(c.retries for c in cluster._clients.values())),
+            "request_failures": float(sum(c.failures
+                                          for c in cluster._clients.values())),
+            "net_dropped": float(cluster.network.stats.dropped),
+            "net_fault_delay_s": cluster.network.stats.fault_delay_time,
+            "server_crashes": float(sum(s.crashes for s in cluster.servers)),
+            "forfeited_bytes": float(stats.forfeited_bytes if stats else 0),
+            "ssd_outages": float(stats.ssd_outages if stats else 0),
+        }
+    return result
 
 
 def _reset_measurement_state(cluster: Cluster) -> None:

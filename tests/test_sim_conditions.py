@@ -106,3 +106,48 @@ def test_nested_process_failure_propagates_to_parent():
     env.process(parent(env))
     env.run()
     assert seen == ["disk on fire"]
+
+
+def test_member_failing_after_condition_resolved_is_defused():
+    # Two events fail at the same instant: the first fails the AllOf
+    # (whose waiter handles it); the second's failure arrives after the
+    # condition triggered and must be absorbed, not escape env.run().
+    env = Environment()
+    a, b = env.event(), env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield env.all_of([a, b])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(env):
+        yield env.timeout(1.0)
+        a.fail(RuntimeError("first"))
+        b.fail(RuntimeError("second"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == ["first"]
+
+
+def test_any_of_loser_failure_after_win_is_defused():
+    env = Environment()
+    winner, loser = env.event(), env.event()
+    got = []
+
+    def waiter(env):
+        got.append((yield env.any_of([winner, loser])))
+
+    def driver(env):
+        yield env.timeout(1.0)
+        winner.succeed("ok")
+        yield env.timeout(1.0)
+        loser.fail(RuntimeError("too late"))
+
+    env.process(waiter(env))
+    env.process(driver(env))
+    env.run()  # the late failure must not raise
+    assert got == [{winner: "ok"}]
