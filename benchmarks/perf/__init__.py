@@ -1,0 +1,13 @@
+"""Wall-clock performance suite (events/sec, e2e runs, fig2 sweep).
+
+Unlike the ``benchmarks/test_*`` accuracy benchmarks (which compare
+simulated numbers against the paper), this package measures how fast
+the simulator itself runs, and records the results as ``BENCH_<date>.json``
+at the repo root so the perf trajectory has data points.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.run            # full suite
+    PYTHONPATH=src python -m benchmarks.perf.run --quick    # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf.compare A.json B.json
+"""

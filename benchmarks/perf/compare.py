@@ -1,0 +1,90 @@
+"""Compare two ``BENCH_*.json`` files: before/after table.
+
+::
+
+    PYTHONPATH=src python -m benchmarks.perf.compare BEFORE.json AFTER.json
+
+Prints a ratio per shared metric (after/before for rates, before/after
+for wall times — both read as "bigger is better for AFTER").  Exits
+non-zero if any shared metric regressed by more than ``--tolerance``
+(default 20%), so the script can gate a perf-sensitive change locally;
+CI deliberately does not wall-clock-gate (shared runners are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+def _metrics(report: Dict[str, Any]) -> Iterator[Tuple[str, float, bool]]:
+    """Yield (name, value, bigger_is_better) for every timed metric."""
+    for name, row in report.get("micro", {}).items():
+        yield f"micro.{name}.ops_per_s", row["ops_per_s"], True
+    e2e = report.get("e2e", {}).get("midsize")
+    if e2e:
+        yield "e2e.midsize.seconds", e2e["seconds"], False
+    fig2 = report.get("fig2", {}).get("fig2_sweep")
+    if fig2:
+        yield "fig2.serial_seconds", fig2["serial_seconds"], False
+        yield "fig2.parallel_seconds", fig2["parallel_seconds"], False
+    # Baseline-style flat reports (benchmarks/perf/BASELINE.json).
+    if "serial_seconds" in report.get("fig2", {}):
+        yield "fig2.serial_seconds", report["fig2"]["serial_seconds"], False
+
+
+def compare(before: Dict[str, Any], after: Dict[str, Any],
+            tolerance: float = 0.2) -> Tuple[int, str]:
+    b = dict((name, (val, big)) for name, val, big in _metrics(before))
+    lines = []
+    worst: Optional[Tuple[str, float]] = None
+    if bool(before.get("meta", {}).get("quick")) \
+            != bool(after.get("meta", {}).get("quick")):
+        lines.append("warning: comparing a --quick run against a full run; "
+                     "sizes differ, ratios are not meaningful")
+    for name, after_val, bigger_better in _metrics(after):
+        if name not in b:
+            continue
+        before_val, _ = b[name]
+        if not before_val or not after_val:
+            continue
+        gain = (after_val / before_val) if bigger_better \
+            else (before_val / after_val)
+        lines.append(f"  {name:34s} {before_val:>14,.2f} -> "
+                     f"{after_val:>14,.2f}   {gain:.2f}x")
+        if worst is None or gain < worst[1]:
+            worst = (name, gain)
+    if not lines:
+        return 1, "no shared metrics between the two reports"
+    text = "\n".join(lines)
+    if worst is not None and worst[1] < 1.0 - tolerance:
+        text += (f"\nREGRESSION: {worst[0]} is {worst[1]:.2f}x "
+                 f"(worse than the {tolerance:.0%} tolerance)")
+        return 1, text
+    return 0, text
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf.compare",
+        description="Before/after comparison of two BENCH_*.json reports.")
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional slowdown before exiting "
+                             "non-zero (default 0.2)")
+    args = parser.parse_args(argv)
+    with open(args.before, "r", encoding="utf-8") as fh:
+        before = json.load(fh)
+    with open(args.after, "r", encoding="utf-8") as fh:
+        after = json.load(fh)
+    code, text = compare(before, after, tolerance=args.tolerance)
+    print(f"{args.before} -> {args.after}")
+    print(text)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""One mid-size end-to-end simulation, timed.
+
+A single iBridge-on cluster serving 64 unaligned 65 KiB readers — the
+canonical shape of almost every figure cell — run once at a mid-size
+scale.  This catches regressions the micro-benchmarks miss (scheduler
+select, device models, RPC fan-out) because it exercises the whole
+stack, not just the event engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.devices.base import Op
+from repro.experiments.common import base_config, file_bytes, measure, scaled_ibridge
+from repro.units import KiB
+from repro.workloads.mpi_io_test import MpiIoTest
+
+
+def bench_e2e(scale: float = 0.00625, nprocs: int = 64,
+              size_kib: int = 65, repeats: int = 3) -> Dict[str, Any]:
+    """Time one full cluster run; returns wall time and sim stats."""
+    size = size_kib * KiB
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        cfg = scaled_ibridge(base_config(), scale)
+        wl = MpiIoTest(nprocs=nprocs, request_size=size,
+                       file_size=file_bytes(scale, nprocs, size), op=Op.READ)
+        start = time.perf_counter()
+        result, _cluster = measure(cfg, wl)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    return {
+        "scale": scale,
+        "nprocs": nprocs,
+        "size_kib": size_kib,
+        "seconds": best,
+        "throughput_mib_s": result.throughput_mib_s,
+        "requests": len(result.requests),
+    }
+
+
+def run_all(quick: bool = False) -> Dict[str, Any]:
+    if quick:
+        return {"midsize": bench_e2e(scale=0.001, nprocs=16)}
+    return {"midsize": bench_e2e()}

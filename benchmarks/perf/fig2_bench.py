@@ -1,0 +1,91 @@
+"""The full fig2 sweep, timed serially and through the worker pool.
+
+This is the headline wall-clock number: the whole motivation-study
+matrix (fig2a + fig2b + fig2cde) at a given scale, once with
+``jobs=1`` and once with ``jobs=N``, both with the cache disabled so
+every cell simulates.  The two runs must produce bit-identical
+``ExperimentResult.values`` — the speedup is reported alongside the
+equality check so a perf win can never silently buy a correctness
+loss.
+
+On a single-CPU host the pool cannot beat the serial run (workers
+time-slice one core and pay fork + pickle overhead); the JSON records
+``cpu_count`` so readers can interpret the ratio honestly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.experiments import fig2
+from repro.experiments.runner import cell, run_cells, set_sweep_defaults
+
+
+def _timed_run(scale: float, jobs: int) -> Dict[str, Any]:
+    """Run the whole fig2 matrix (same shape as ``fig2.run``)."""
+    set_sweep_defaults(jobs=jobs, cache=False)
+    try:
+        start = time.perf_counter()
+        subs = [fig2.run_fig2a(scale, procs=(16, 64)),
+                fig2.run_fig2b(scale, procs=(16, 64)),
+                fig2.run_fig2cde(scale)]
+        elapsed = time.perf_counter() - start
+    finally:
+        set_sweep_defaults()  # restore: in-process, uncached
+    values = {(sub.name,) + k: v for sub in subs
+              for k, v in sub.values.items()}
+    return {"seconds": elapsed, "values": values}
+
+
+def bench_fig2(scale: float = 0.00625, jobs: int = 4) -> Dict[str, Any]:
+    serial = _timed_run(scale, jobs=1)
+    parallel = _timed_run(scale, jobs=jobs)
+    identical = serial["values"] == parallel["values"]
+    return {
+        "scale": scale,
+        "jobs": jobs,
+        "serial_seconds": serial["seconds"],
+        "parallel_seconds": parallel["seconds"],
+        "speedup": serial["seconds"] / parallel["seconds"],
+        "values_identical": identical,
+    }
+
+
+def bench_cache(scale: float = 0.002,
+                cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Cold-then-warm cache timing on a tiny fig2a matrix."""
+    import shutil
+    import tempfile
+
+    tmp = cache_dir or tempfile.mkdtemp(prefix="ibridge-bench-cache-")
+    try:
+        from repro.units import KiB
+        cells = [cell("repro.experiments.fig2:_cell_throughput",
+                      scale=scale, nprocs=np_, size=65 * KiB)
+                 for np_ in (4, 8, 16)]
+        start = time.perf_counter()
+        cold = run_cells(cells, jobs=1, cache=True, cache_dir=tmp)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_cells(cells, jobs=1, cache=True, cache_dir=tmp)
+        warm_s = time.perf_counter() - start
+        return {
+            "cells": len(cells),
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "cold_executed": cold.executed,
+            "warm_executed": warm.executed,
+            "values_identical": cold.results == warm.results,
+        }
+    finally:
+        if cache_dir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_all(quick: bool = False, jobs: int = 4) -> Dict[str, Any]:
+    scale = 0.001 if quick else 0.00625
+    return {
+        "fig2_sweep": bench_fig2(scale=scale, jobs=jobs),
+        "cache_warm_vs_cold": bench_cache(scale=0.001 if quick else 0.002),
+    }

@@ -1,0 +1,117 @@
+"""Engine micro-benchmarks: events/sec through the hot paths.
+
+Each benchmark builds a fresh :class:`~repro.sim.Environment`, drives a
+synthetic event pattern that isolates one engine hot path, and reports
+a rate (operations per second, best of ``repeats`` runs).  The patterns
+mirror what real workloads do millions of times per experiment:
+
+* ``timeout_trampoline`` — the process/timeout round-trip that
+  dominates every device-service loop.
+* ``process_spawn`` — Process bootstrap cost (one per client request,
+  per queue runner, per RPC).
+* ``event_chain`` — event succeed + single-callback dispatch, the
+  common case the run loop fast-paths.
+* ``queue_snapshot`` — the audit/debug heap inspection with ``limit``
+  (must not sort the whole heap).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+from repro.sim import Environment
+
+
+def _rate(op_count: int, fn: Callable[[], None], repeats: int = 3) -> Dict[str, Any]:
+    """Best-of-``repeats`` wall time for ``fn``; returns ops/sec."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return {"ops": op_count, "seconds": best, "ops_per_s": op_count / best}
+
+
+def bench_timeout_trampoline(nprocs: int = 100, iters: int = 2000,
+                             repeats: int = 3) -> Dict[str, Any]:
+    """N processes each yielding ``iters`` timeouts — the core loop."""
+    def run() -> None:
+        env = Environment()
+
+        def worker(env: Environment) -> Any:
+            for _ in range(iters):
+                yield env.timeout(0.001)
+
+        for _ in range(nprocs):
+            env.process(worker(env))
+        env.run()
+
+    return _rate(nprocs * iters, run, repeats)
+
+
+def bench_process_spawn(count: int = 50_000, repeats: int = 3) -> Dict[str, Any]:
+    """Spawn ``count`` trivial processes: bootstrap + first resume cost."""
+    def run() -> None:
+        env = Environment()
+
+        def noop(env: Environment) -> Any:
+            return
+            yield  # pragma: no cover - makes noop a generator
+
+        for _ in range(count):
+            env.process(noop(env))
+        env.run()
+
+    return _rate(count, run, repeats)
+
+
+def bench_event_chain(count: int = 100_000, repeats: int = 3) -> Dict[str, Any]:
+    """Succeed-then-wait on ``count`` events: single-callback fast path."""
+    def run() -> None:
+        env = Environment()
+
+        def chain(env: Environment) -> Any:
+            for _ in range(count):
+                ev = env.event()
+                ev.succeed(None)
+                yield ev
+
+        env.process(chain(env))
+        env.run()
+
+    return _rate(count, run, repeats)
+
+
+def bench_queue_snapshot(depth: int = 10_000, limit: int = 10,
+                         calls: int = 1000, repeats: int = 3) -> Dict[str, Any]:
+    """``queue_snapshot(limit)`` against a deep heap.
+
+    Deadlines are scrambled (deterministically) so the heap's list
+    order is not already sorted — pushing monotone deadlines leaves the
+    backing list fully ordered, which lets a full ``sorted()`` degenerate
+    to O(n) and makes the benchmark unrepresentative of a real stall
+    dump's mixed-deadline queue.
+    """
+    env = Environment()
+    for i in range(depth):
+        env.timeout(float((i * 7919) % (depth + 7)))
+
+    def run() -> None:
+        for _ in range(calls):
+            env.queue_snapshot(limit=limit)
+
+    return _rate(calls, run, repeats)
+
+
+def run_all(quick: bool = False) -> Dict[str, Dict[str, Any]]:
+    """Run the micro suite; ``quick`` shrinks sizes for CI smoke runs."""
+    shrink = 10 if quick else 1
+    return {
+        "timeout_trampoline": bench_timeout_trampoline(
+            nprocs=100 // shrink or 10, iters=2000 // shrink),
+        "process_spawn": bench_process_spawn(count=50_000 // shrink),
+        "event_chain": bench_event_chain(count=100_000 // shrink),
+        "queue_snapshot": bench_queue_snapshot(
+            depth=10_000 // shrink, calls=1000 // shrink),
+    }

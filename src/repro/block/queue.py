@@ -161,8 +161,12 @@ class BlockQueue:
         service = self.device.serve(dispatch.op, dispatch.lbn, dispatch.nbytes,
                                     idle_gap=idle_gap)
         self.dispatches += 1
-        self.tracer.record(env.now, dispatch.op, dispatch.lbn,
-                           dispatch.nbytes, len(dispatch.members))
+        # Zero-cost when tracing is off: skip the record() call frame
+        # (and its TraceRecord build) on every dispatch.
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(env.now, dispatch.op, dispatch.lbn,
+                          dispatch.nbytes, len(dispatch.members))
         for member in dispatch.members:
             member.dispatch_time = env.now
         yield env.timeout(service)

@@ -2,6 +2,13 @@
 
 Runs one experiment (or ``all``) and prints its table(s).  The scale is
 the fraction of the paper's 10 GB working set to simulate.
+
+Sweep execution (``--jobs``, ``--no-cache``, ``--cache-dir``) is routed
+through :mod:`repro.experiments.runner`: experiments that decompose
+into independent cells fan them out over a process pool and reuse
+cached cell results across invocations.  Serial and parallel runs are
+bit-identical by construction; ``--no-cache`` forces every cell to
+simulate from scratch.
 """
 
 from __future__ import annotations
@@ -15,6 +22,30 @@ from typing import List, Optional
 from ..config import AuditConfig
 from .common import DEFAULT_SCALE, set_default_audit, set_default_fault_plan
 from .registry import EXPERIMENTS, get
+from .runner import DEFAULT_CACHE_DIR, set_sweep_defaults
+
+
+def _profiled(runner, kwargs, limit: int = 25):
+    """Run one experiment under cProfile; print top-``limit`` entries.
+
+    The same idea as the offline device profiling in
+    ``repro.devices.profiling`` — measure the thing we are about to
+    optimize — applied to the simulator itself: the printout names the
+    engine hot paths (event dispatch, scheduler select, device serve)
+    so a perf regression is visible before a wall-clock trend is.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = runner(**kwargs)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(limit)
+    return result
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -28,6 +59,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {DEFAULT_SCALE:.4f})")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the experiment matrix "
+                             "(default 1 = in-process; results are "
+                             "bit-identical at any N)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result "
+                             "cache; every cell simulates from scratch")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help=f"result cache location (default "
+                             f"{DEFAULT_CACHE_DIR!r})")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-25 "
+                             "cumulative entries (forces --jobs 1: "
+                             "profiling a worker pool measures only the "
+                             "coordinator)")
     parser.add_argument("--audit", action="store_true",
                         help="run with the invariant auditor + livelock "
                              "watchdog enabled (strict: first violation "
@@ -45,6 +91,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "degraded-disk knob (e.g. 'degraded')")
     args = parser.parse_args(argv)
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
     if args.fault_plan:
         from ..faults import FaultPlan
         set_default_fault_plan(FaultPlan.from_file(args.fault_plan))
@@ -56,6 +105,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             open(args.audit_trace, "w", encoding="utf-8").close()
         set_default_audit(AuditConfig(enabled=True,
                                       trace_path=args.audit_trace))
+
+    if args.audit_trace and args.jobs > 1:
+        # Pool workers appending to one JSONL would interleave; keep the
+        # trace coherent by running the matrix in-process.
+        print("note: --audit-trace forces --jobs 1 (single trace writer)")
+        args.jobs = 1
+    if args.profile and args.jobs > 1:
+        args.jobs = 1
+
+    # CLI runs cache cell results by default (repeat invocations of the
+    # same experiment at the same scale/seed/config hit the cache and
+    # perform zero simulation steps); --no-cache forces fresh runs.
+    # The programmatic API (runner.sweep) stays uncached unless
+    # explicitly configured, so tests and benchmarks always simulate.
+    set_sweep_defaults(jobs=args.jobs, cache=not args.no_cache,
+                       cache_dir=args.cache_dir)
 
     if args.list or args.name is None:
         print("available experiments:")
@@ -77,7 +142,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             if "degrade_factor" in params:
                 kwargs["degrade_factor"] = args.degrade_factor
         start = time.time()
-        result = runner(**kwargs)
+        if args.profile:
+            result = _profiled(runner, kwargs)
+        else:
+            result = runner(**kwargs)
         elapsed = time.time() - start
         print(result)
         print(f"  [{name} finished in {elapsed:.1f}s wall time]")

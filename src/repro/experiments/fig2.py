@@ -7,6 +7,11 @@
     65 KB, and 64 KB + 10 KB-offset requests.
 
 All on the stock system (no iBridge): this is the motivation study.
+
+Each measured point is an independent cell of the experiment matrix
+(fresh cluster, fixed seed) executed through
+:mod:`repro.experiments.runner` — serial and ``--jobs N`` runs produce
+bit-identical results, merged in loop order.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from ..units import KiB
 from ..workloads.mpi_io_test import MpiIoTest
 from .common import (DEFAULT_SCALE, ExperimentResult, base_config, file_bytes,
                      measure)
+from .runner import cell, sweep
 
 #: Paper reference points (MB/s) quoted in Section I-A.
 PAPER_POINTS = {
@@ -30,6 +36,17 @@ PAPER_POINTS = {
 }
 
 
+def _cell_throughput(scale: float, nprocs: int, size: int,
+                     offset_shift: int = 0) -> float:
+    """One (nprocs, request size, offset) point on the stock system."""
+    cfg = base_config()
+    wl = MpiIoTest(nprocs=nprocs, request_size=size,
+                   file_size=file_bytes(scale, nprocs, size), op=Op.READ,
+                   offset_shift=offset_shift)
+    res, _ = measure(cfg, wl)
+    return res.throughput_mib_s
+
+
 def run_fig2a(scale: float = DEFAULT_SCALE,
               sizes_kib: Sequence[int] = (64, 65, 74, 84, 94),
               procs: Sequence[int] = (16, 64, 128, 512)) -> ExperimentResult:
@@ -39,17 +56,17 @@ def run_fig2a(scale: float = DEFAULT_SCALE,
         title="Fig 2(a) — throughput (MiB/s), Pattern II request sizes",
         headers=["nprocs"] + [f"{s}KiB" for s in sizes_kib],
     )
-    cfg = base_config()
+    cells = [cell("repro.experiments.fig2:_cell_throughput",
+                  scale=scale, nprocs=np_, size=s * KiB)
+             for np_ in procs for s in sizes_kib]
+    values = iter(sweep(cells))
     for np_ in procs:
         row: list = [np_]
         keyed: Dict[str, float] = {}
         for s in sizes_kib:
-            size = s * KiB
-            wl = MpiIoTest(nprocs=np_, request_size=size,
-                           file_size=file_bytes(scale, np_, size), op=Op.READ)
-            res, _ = measure(cfg, wl)
-            row.append(round(res.throughput_mib_s, 1))
-            keyed[f"s{s}"] = res.throughput_mib_s
+            tp = next(values)
+            row.append(round(tp, 1))
+            keyed[f"s{s}"] = tp
         result.add_row(row, **keyed)
     result.notes.append("paper: 16 procs — 64K:159.6, 65K:77.4, 74K:88.1; "
                         "throughput declines with process count")
@@ -65,26 +82,27 @@ def run_fig2b(scale: float = DEFAULT_SCALE,
         title="Fig 2(b) — throughput (MiB/s), Pattern III offsets (64KiB reqs)",
         headers=["nprocs"] + [f"+{o}KiB" for o in offsets_kib],
     )
-    cfg = base_config()
     size = 64 * KiB
+    cells = [cell("repro.experiments.fig2:_cell_throughput",
+                  scale=scale, nprocs=np_, size=size, offset_shift=off * KiB)
+             for np_ in procs for off in offsets_kib]
+    values = iter(sweep(cells))
     for np_ in procs:
         row: list = [np_]
         keyed: Dict[str, float] = {}
         for off in offsets_kib:
-            wl = MpiIoTest(nprocs=np_, request_size=size,
-                           file_size=file_bytes(scale, np_, size),
-                           op=Op.READ, offset_shift=off * KiB)
-            res, _ = measure(cfg, wl)
-            row.append(round(res.throughput_mib_s, 1))
-            keyed[f"off{off}"] = res.throughput_mib_s
+            tp = next(values)
+            row.append(round(tp, 1))
+            keyed[f"off{off}"] = tp
         result.add_row(row, **keyed)
     result.notes.append("paper (512 procs): +0:116.2, +1:102.1, +10:81.8; "
                         "offsets degrade throughput at every process count")
     return result
 
 
-def _dispatch_histogram(scale: float, request_size: int, offset: int,
-                        nprocs: int = 64) -> Dict[int, float]:
+def _cell_dispatch_histogram(scale: float, request_size: int, offset: int,
+                             nprocs: int = 64) -> Dict[int, float]:
+    """Merged dispatch-size distribution for one unaligned pattern."""
     cfg = base_config()
     wl = MpiIoTest(nprocs=nprocs, request_size=request_size,
                    file_size=file_bytes(scale, nprocs, request_size),
@@ -111,8 +129,13 @@ def run_fig2cde(scale: float = DEFAULT_SCALE, nprocs: int = 64) -> ExperimentRes
         ("d: 65KiB", 65 * KiB, 0),
         ("e: 64KiB +10KiB", 64 * KiB, 10 * KiB),
     ]
-    for label, size, off in cases:
-        dist = _dispatch_histogram(scale, size, off, nprocs=nprocs)
+    cells = [cell("repro.experiments.fig2:_cell_dispatch_histogram",
+                  scale=scale, request_size=size, offset=off, nprocs=nprocs)
+             for _label, size, off in cases]
+    for (label, _size, _off), raw in zip(cases, sweep(cells)):
+        # Cached/pickled dict keys stay ints; JSON-free transport keeps
+        # the histogram exact.
+        dist = {int(k): v for k, v in raw.items()}
         top = sorted(dist.items(), key=lambda kv: -kv[1])[:3]
         top_s = " ".join(f"{s}:{f * 100:.0f}%" for s, f in top)
         big = sum(f for s, f in dist.items() if s >= 128)

@@ -4,11 +4,21 @@ Deterministic by construction: ties in the event heap are broken by a
 monotone sequence number, so two runs with the same seed produce
 identical schedules.  This is essential for reproducible experiments
 and for hypothesis-based property tests.
+
+Hot-path notes (see docs/PERFORMANCE.md): :meth:`Environment.run`
+inlines the dispatch loop (``step()`` remains for single-stepping), the
+:class:`Process` bootstrap builds a bare pre-triggered event without
+the ``Event.__init__`` trampoline, and resumes go through cached bound
+``send``/``throw`` methods.  Every fast path preserves the heap-entry
+layout and seq consumption exactly, so schedules are bit-identical to
+the straightforward implementation — the determinism regression tests
+in ``tests/test_sim_core.py`` pin this.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
@@ -33,22 +43,50 @@ class Process(Event):
     the exception is thrown into the generator (which may catch it).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_resume_cb", "_target", "name")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None) -> None:
-        if not hasattr(generator, "throw"):
-            raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        # The bound ``send`` is cached: it is called once per resume, so
+        # for long-lived processes the one-time allocation replaces a
+        # per-resume method lookup.  ``throw`` is NOT cached — it only
+        # runs on failure paths, and an extra live bound method per
+        # process is measurable GC weight in spawn-heavy workloads.
+        try:
+            self._send = generator.send
+        except AttributeError:
+            raise SimulationError(f"{generator!r} is not a generator") from None
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        # Bootstrap: resume on the next scheduler pass at the current time.
-        init = Event(env)
+        # Bootstrap: resume on the next scheduler pass at the current
+        # time.  The init event is a bare slot-filled Event — it exists
+        # only to carry one callback through the heap once, so skipping
+        # the constructor saves a call frame per spawned process.  A
+        # pool was considered and rejected: resetting a pooled event
+        # costs the same writes as building a fresh one, and eager
+        # (push-free) starts would reorder schedules.
+        # ``self._resume`` builds a fresh bound method on every access;
+        # waiting on an event appends it to the event's callback list,
+        # so without this cache every yield allocates one.
+        self._resume_cb = resume = self._resume
+        init = Event.__new__(Event)
+        init.env = env
+        init.callbacks = [resume]
+        init._value = None
         init._ok = True
         init._triggered = True
-        init.callbacks.append(self._resume)
-        env._schedule(init, PRIORITY_URGENT)
+        init._processed = False
+        init._defused = False
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, PRIORITY_URGENT, seq, init))
 
     @property
     def is_alive(self) -> bool:
@@ -61,51 +99,63 @@ class Process(Event):
             raise SimulationError("cannot interrupt a finished process")
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
-        wakeup = Event(self.env)
-        wakeup._ok = False
+        wakeup = Event.__new__(Event)
+        wakeup.env = self.env
+        wakeup.callbacks = [self._resume_cb]
         wakeup._value = Interrupt(cause)
-        wakeup._defused = True
+        wakeup._ok = False
         wakeup._triggered = True
-        wakeup.callbacks.append(self._resume)
-        self.env._schedule(wakeup, PRIORITY_URGENT)
+        wakeup._processed = False
+        wakeup._defused = True
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, PRIORITY_URGENT, seq, wakeup))
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         self._target = None
         try:
             if event._ok:
-                target = self._generator.send(event._value)
+                target = self._send(event._value)
             else:
-                event.defuse()
+                event._defused = True
                 target = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
-        if not isinstance(target, Event):
-            exc = SimulationError(
-                f"process {self.name!r} yielded a non-event: {target!r}")
-            try:
-                self._generator.throw(exc)
-            except StopIteration as stop:
-                self.succeed(stop.value)
-            except BaseException as err:
-                self.fail(err)
+        if isinstance(target, Event):
+            if target.env is not env:
+                self.fail(SimulationError("yielded event belongs to another environment"))
+                return
+            self._target = target
+            callbacks = target.callbacks
+            if callbacks is None:
+                # Already processed: resume again on the spot (matches
+                # Event.add_callback semantics without the call).
+                self._resume(target)
+            else:
+                callbacks.append(self._resume_cb)
             return
-        if target.env is not self.env:
-            self.fail(SimulationError("yielded event belongs to another environment"))
-            return
-        self._target = target
-        target.add_callback(self._resume)
+
+        exc = SimulationError(
+            f"process {self.name!r} yielded a non-event: {target!r}")
+        try:
+            self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as err:
+            self.fail(err)
 
 
 class Environment:
@@ -119,6 +169,8 @@ class Environment:
         env.process(proc(env))
         env.run()
     """
+
+    __slots__ = ("_now", "_queue", "_seq", "_active_process")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -143,8 +195,27 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` simulated seconds from now."""
-        return Timeout(self, delay, value)
+        """An event firing ``delay`` simulated seconds from now.
+
+        Construction is inlined (mirroring ``Timeout.__init__`` slot for
+        slot): this factory is the single most-called allocation site in
+        the package, and skipping the constructor frame is a measurable
+        share of events/sec.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        ev = Timeout.__new__(Timeout)
+        ev.env = self
+        ev.callbacks = []
+        ev._value = value
+        ev._ok = True
+        ev._triggered = True
+        ev._processed = False
+        ev._defused = False
+        ev.delay = delay
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, PRIORITY_NORMAL, seq, ev))
+        return ev
 
     def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
         """Start a new process from ``generator``."""
@@ -161,8 +232,8 @@ class Environment:
     # -- scheduling --------------------------------------------------
     def _schedule(self, event: Event, priority: int = PRIORITY_NORMAL,
                   delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -173,11 +244,15 @@ class Environment:
 
         Diagnostic view (used by the audit watchdog's stall dumps):
         events are labelled with their process name when they belong to
-        a process, else their class name.  Sorted by firing order.
+        a process, else their class name.  Sorted by firing order.  With
+        ``limit`` only the first ``limit`` entries are extracted — via
+        ``heapq.nsmallest``, so a stall dump on a deep queue costs
+        O(n log limit) rather than sorting the whole pending set.
         """
-        items = sorted(self._queue)
         if limit is not None:
-            items = items[:limit]
+            items = heapq.nsmallest(limit, self._queue)
+        else:
+            items = sorted(self._queue)
         out = []
         for when, prio, seq, event in items:
             label = getattr(event, "name", None) or type(event).__name__
@@ -188,7 +263,7 @@ class Environment:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -217,13 +292,46 @@ class Environment:
                 raise SimulationError(
                     f"until={stop_time} is in the past (now={self._now})")
 
-        while self._queue:
+        # The dispatch loop is the single hottest code in the package;
+        # it is inlined here (rather than calling step()) with the queue
+        # and heappop bound to locals.  Semantics match step() exactly.
+        queue = self._queue
+        pop = heappop
+        if stop_event is None and stop_time == float("inf"):
+            # Run-to-exhaustion fast path: no stop checks per event.
+            while queue:
+                when, _prio, _seq, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return None
+
+        while queue:
             if stop_event is not None and stop_event._processed:
                 break
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _prio, _seq, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
         if stop_event is not None:
             if not stop_event._processed:

@@ -5,10 +5,19 @@ generator that yields :class:`Event` objects; the environment resumes
 the generator when the yielded event fires.  Events are single-shot —
 they succeed or fail exactly once, and callbacks attached afterwards
 fire immediately on the next scheduler pass.
+
+Hot-path notes (see docs/PERFORMANCE.md): ``succeed``, ``fail`` and
+``Timeout.__init__`` push onto the environment's heap directly instead
+of going through ``Environment._schedule`` — one Python call frame per
+event is real money when a run processes tens of millions of events.
+The heap entry layout ``(time, priority, seq, event)`` and the
+monotone-``seq`` tie-break are part of the engine's determinism
+contract; every inlined push must reproduce it exactly.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 from ..errors import SimulationError
@@ -74,7 +83,9 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        self.env._schedule(self, priority)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -86,7 +97,9 @@ class Event:
         self._ok = False
         self._value = exception
         self._triggered = True
-        self.env._schedule(self, priority)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, priority, seq, self))
         return self
 
     def defuse(self) -> None:
@@ -106,19 +119,28 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts are the single most-allocated event type (every poll loop,
+    idle window and service charge makes one), so construction writes
+    the slots directly rather than chaining through ``Event.__init__``.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._triggered = True
-        env._schedule(self, PRIORITY_NORMAL, delay)
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, seq, self))
 
 
 class Condition(Event):
@@ -136,11 +158,12 @@ class Condition(Event):
         if not self.events:
             self.succeed(self._collect())
             return
+        check = self._check  # one bound method for all members
         for ev in self.events:
             if ev.callbacks is None:  # already processed
-                self._check(ev)
+                check(ev)
             else:
-                ev.add_callback(self._check)
+                ev.callbacks.append(check)
 
     def _collect(self) -> dict:
         return {ev: ev._value for ev in self.events if ev._processed and ev._ok}
@@ -149,7 +172,7 @@ class Condition(Event):
         raise NotImplementedError
 
     def _on_failure(self, event: Event) -> None:
-        event.defuse()
+        event._defused = True
         if not self._triggered:
             self.fail(event._value)
 
@@ -166,7 +189,7 @@ class AllOf(Condition):
             # already accounted for by the condition's own failure —
             # defuse it so it cannot surface as an unhandled event.
             if not event._ok:
-                event.defuse()
+                event._defused = True
             return
         if not event._ok:
             self._on_failure(event)
@@ -186,7 +209,7 @@ class AnyOf(Condition):
             # A loser of the race that *fails* later (a timed-out retry
             # attempt, a drained member) was raced on purpose; absorb it.
             if not event._ok:
-                event.defuse()
+                event._defused = True
             return
         if not event._ok:
             self._on_failure(event)

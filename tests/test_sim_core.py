@@ -249,3 +249,85 @@ def test_run_until_past_time_is_error():
     env = Environment(initial_time=10.0)
     with pytest.raises(SimulationError):
         env.run(until=5.0)
+
+
+# -- determinism regressions ------------------------------------------
+# The engine's hot paths (inlined heap pushes, bare-slot bootstrap
+# events, the run()-loop fast path) must never change the schedule: the
+# heap entry layout is (time, priority, seq, event) with a monotone seq
+# tie-break, and every fast path consumes seq numbers exactly like the
+# straightforward implementation it replaced.
+
+def _mixed_workload(env, log):
+    """Processes, timeouts, events and interrupts with many ties."""
+
+    def worker(env, ident):
+        for step in range(4):
+            yield env.timeout(0.5 * (ident % 3))
+            log.append((env.now, ident, step))
+
+    def poker(env, victim):
+        yield env.timeout(1.0)
+        if victim.is_alive:
+            victim.interrupt("poke")
+
+    workers = [env.process(worker(env, i)) for i in range(6)]
+    env.process(poker(env, workers[0]))
+    return workers
+
+
+def test_schedule_snapshot_is_reproducible():
+    """Same program -> identical queue snapshots, run after run."""
+    snaps = []
+    for _ in range(2):
+        env = Environment()
+        log = []
+
+        def guarded(env, p):
+            try:
+                yield p
+            except Interrupt:
+                pass
+
+        for p in _mixed_workload(env, log):
+            env.process(guarded(env, p))
+        # Snapshot mid-run: advance a few events, snapshot, finish.
+        for _ in range(5):
+            env.step()
+        snaps.append((env.queue_snapshot(), tuple(log)))
+        env.run()
+        snaps.append(tuple(log))
+    assert snaps[0] == snaps[2]
+    assert snaps[1] == snaps[3]
+
+
+def test_queue_snapshot_limit_is_a_prefix():
+    """queue_snapshot(limit=k) == queue_snapshot()[:k] (nsmallest path)."""
+    env = Environment()
+    # Scrambled deadlines with deliberate ties: the seq tie-break must
+    # order them identically through both the sorted() and nsmallest()
+    # paths.
+    for i in range(50):
+        env.timeout(float((i * 7) % 11))
+    full = env.queue_snapshot()
+    assert len(full) == 50
+    for k in (0, 1, 7, 50, 99):
+        assert env.queue_snapshot(limit=k) == full[:k]
+
+
+def test_seq_numbers_are_consumed_per_scheduling():
+    """Spawn/succeed/timeout each consume exactly one seq number."""
+    env = Environment()
+    env.timeout(1.0)
+    before = env.queue_snapshot()
+    assert [s for (_, _, s, _) in before] == [1]
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    env.process(proc(env))  # bootstrap event: seq 2
+    ev = env.event()
+    ev.succeed("x")  # seq 3
+    after = env.queue_snapshot()
+    assert [s for (_, _, s, _) in after] == [2, 3, 1]  # urgent first at t=0
+    env.run()
