@@ -1,0 +1,57 @@
+"""Observability overhead micro-benchmark: tracing on vs off.
+
+Runs the same unaligned mpi-io-test cell three ways — obs disabled
+(the default every experiment runs with), spans only, and spans +
+metrics sampler — and reports wall seconds plus the relative overhead.
+The disabled case is the one that matters for the perf baseline: every
+instrumented site must cost one attribute load and a ``None`` test, so
+its wall time must track the pre-observability engine numbers
+(``BASELINE.json``, checked by the micro suite).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.config import ClusterConfig
+from repro.devices.base import Op
+from repro.pfs.cluster import Cluster
+from repro.units import KiB, MiB
+from repro.workloads.base import run_workload
+from repro.workloads.mpi_io_test import MpiIoTest
+
+
+def _run_once(obs_cfg: ClusterConfig, nprocs: int, file_size: int) -> float:
+    workload = MpiIoTest(nprocs=nprocs, request_size=65 * KiB,
+                         file_size=file_size, op=Op.WRITE)
+    cluster = Cluster(obs_cfg)
+    start = time.perf_counter()
+    run_workload(cluster, workload)
+    elapsed = time.perf_counter() - start
+    cluster.shutdown()
+    return elapsed
+
+
+def _best(cfg: ClusterConfig, nprocs: int, file_size: int,
+          repeats: int) -> float:
+    return min(_run_once(cfg, nprocs, file_size) for _ in range(repeats))
+
+
+def run_all(quick: bool = False) -> Dict[str, Any]:
+    nprocs = 8 if quick else 16
+    file_size = (4 if quick else 16) * MiB
+    repeats = 2 if quick else 3
+    base = ClusterConfig(num_servers=4, client_jitter=0.0)
+
+    off = _best(base, nprocs, file_size, repeats)
+    trace_only = _best(base.with_obs(metrics=False), nprocs, file_size,
+                       repeats)
+    full = _best(base.with_obs(), nprocs, file_size, repeats)
+    return {
+        "obs_off": {"seconds": off},
+        "obs_trace": {"seconds": trace_only,
+                      "overhead_pct": (trace_only / off - 1.0) * 100.0},
+        "obs_full": {"seconds": full,
+                     "overhead_pct": (full / off - 1.0) * 100.0},
+    }

@@ -24,7 +24,7 @@ import sys
 import time
 from typing import Any, Dict, Optional
 
-from . import e2e, fig2_bench, microbench
+from . import e2e, fig2_bench, microbench, obs_bench
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -95,6 +95,14 @@ def run_suite(quick: bool = False, jobs: int = 4,
     row = report["e2e"]["midsize"]
     print(f"  midsize (scale={row['scale']}, nprocs={row['nprocs']}) "
           f"{row['seconds']:.2f}s wall, {row['throughput_mib_s']:.1f} MiB/s sim")
+    print("== obs: tracing overhead (off / spans / spans+metrics) ==",
+          flush=True)
+    report["obs"] = obs_bench.run_all(quick=quick)
+    print(f"  off {report['obs']['obs_off']['seconds']:.2f}s, "
+          f"spans {report['obs']['obs_trace']['seconds']:.2f}s "
+          f"(+{report['obs']['obs_trace']['overhead_pct']:.1f}%), "
+          f"spans+metrics {report['obs']['obs_full']['seconds']:.2f}s "
+          f"(+{report['obs']['obs_full']['overhead_pct']:.1f}%)")
     if not skip_fig2:
         print("== fig2: full sweep, serial vs pool ==", flush=True)
         report["fig2"] = fig2_bench.run_all(quick=quick, jobs=jobs)

@@ -11,13 +11,25 @@ failing run is replayable offline::
 Records are append-only and self-contained; a violation record carries
 the full invariant message, so ``grep '"violation"' trace.jsonl`` finds
 every failure with its context.
+
+Lifecycle contract: a trace that mirrors to a file owns that file
+handle until :meth:`close` is called (idempotent; safe to call twice).
+Use the trace as a context manager to guarantee the mirror is closed —
+and therefore complete on disk — even when the run aborts mid-way::
+
+    with EventTrace(path="trace.jsonl") as trace:
+        ...   # emit() calls; a raised exception still closes the file
+
+Violation records are additionally flushed to disk the moment they are
+emitted, so a run killed right after detecting an invariant breach
+still leaves the evidence in the mirror.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter, deque
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 
 class EventTrace:
@@ -32,6 +44,14 @@ class EventTrace:
         # mirror to the same path.  Whoever owns the path for a whole
         # invocation (e.g. the CLI) truncates it once up front.
         self._file = open(path, "a", encoding="utf-8") if path else None
+        #: Optional observer called with every record as it is emitted
+        #: (after ring/mirror bookkeeping).  The obs layer uses this to
+        #: fold audit events into the unified span/event stream.
+        self._sink: Optional[Callable[[Dict], None]] = None
+
+    def set_sink(self, sink: Optional[Callable[[Dict], None]]) -> None:
+        """Install (or clear, with ``None``) the per-record observer."""
+        self._sink = sink
 
     def emit(self, time: float, kind: str, **fields) -> Dict:
         """Record one event; returns the record dict."""
@@ -42,6 +62,12 @@ class EventTrace:
         if self._file is not None:
             json.dump(record, self._file, default=str)
             self._file.write("\n")
+            if kind == "violation":
+                # An invariant breach may abort the run; make sure the
+                # evidence reaches the disk before anything else happens.
+                self._file.flush()
+        if self._sink is not None:
+            self._sink(record)
         return record
 
     def records(self, kind: Optional[str] = None) -> List[Dict]:
@@ -65,6 +91,13 @@ class EventTrace:
             self._file.flush()
 
     def close(self) -> None:
+        """Close the JSONL mirror (idempotent; ring stays readable)."""
         if self._file is not None:
             self._file.close()
             self._file = None
+
+    def __enter__(self) -> "EventTrace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -37,11 +37,20 @@ class BlockTracer:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.records: List[TraceRecord] = []
+        #: Optional observer called with every record (even when in-memory
+        #: retention is disabled); the obs layer uses this to fold block
+        #: dispatches into the unified trace stream.
+        self.sink = None
 
     def record(self, time: float, op: Op, lbn: int, nbytes: int,
                merged: int) -> None:
+        if not self.enabled and self.sink is None:
+            return
+        rec = TraceRecord(time, op, lbn, nbytes, merged)
         if self.enabled:
-            self.records.append(TraceRecord(time, op, lbn, nbytes, merged))
+            self.records.append(rec)
+        if self.sink is not None:
+            self.sink(rec)
 
     def clear(self) -> None:
         self.records.clear()

@@ -46,6 +46,9 @@ class BlockQueue:
         # Note: an empty BlockTracer is falsy (it defines __len__), so an
         # explicit None test is required here.
         self.tracer = tracer if tracer is not None else BlockTracer(enabled=False)
+        #: Observability tracer (:class:`repro.obs.span.Tracer`); wired
+        #: by the cluster's ObsRuntime, None on untraced runs.
+        self.obs = None
         self.name = name
         self._arrival: Event = env.event()
         self._busy = False
@@ -64,11 +67,22 @@ class BlockQueue:
 
     # -- public API ---------------------------------------------------
     def submit(self, op: Op, lbn: int, nbytes: int, stream: int = 0,
-               meta: Any = None) -> BlockRequest:
+               meta: Any = None, obs_parent=None) -> BlockRequest:
         """Queue an I/O; the returned request's ``done`` event fires on
-        completion with the request itself as value."""
+        completion with the request itself as value.
+
+        ``obs_parent`` (a :class:`repro.obs.span.Span`) requests span
+        tracing for this I/O: a queue-wait span opens now, flips to a
+        device-service span at dispatch.  Background traffic passes
+        nothing and stays untraced.
+        """
         self.device.check_range(lbn, nbytes)
         req = BlockRequest(self.env, op, lbn, nbytes, stream=stream, meta=meta)
+        obs = self.obs
+        if obs is not None and obs_parent is not None:
+            req.span = obs.start("blk.wait", "queue", obs_parent.trace_id,
+                                 self.env.now, parent=obs_parent,
+                                 dev=self.name, op=op.value, nbytes=nbytes)
         self.scheduler.add(req)
         self._inflight += 1
         self._last_activity = self.env.now
@@ -164,11 +178,23 @@ class BlockQueue:
         # Zero-cost when tracing is off: skip the record() call frame
         # (and its TraceRecord build) on every dispatch.
         tracer = self.tracer
-        if tracer.enabled:
+        if tracer.enabled or tracer.sink is not None:
             tracer.record(env.now, dispatch.op, dispatch.lbn,
                           dispatch.nbytes, len(dispatch.members))
+        obs = self.obs
         for member in dispatch.members:
             member.dispatch_time = env.now
+            # Queue-wait ends at dispatch; the service span picks up as
+            # a sibling (same parent) so the pair tiles [submit,
+            # complete] exactly for the critical-path analyzer.
+            span = member.span
+            if span is not None and obs is not None:
+                obs.finish(span, env.now)
+                member.span = obs.start(
+                    "blk.service", "service", span.trace_id, env.now,
+                    parent_id=span.parent_id, dev=self.name,
+                    op=dispatch.op.value, nbytes=member.nbytes,
+                    merged=len(dispatch.members))
         yield env.timeout(service)
         self._busy = False
         self._inflight -= len(dispatch.members)
@@ -177,6 +203,8 @@ class BlockQueue:
         self.completed += len(dispatch.members)
         for member in dispatch.members:
             member.complete_time = env.now
+            if member.span is not None and obs is not None:
+                obs.finish(member.span, env.now)
             member.done.succeed(member)
         if self._inflight == 0 and self._drain_waiters:
             waiters, self._drain_waiters = self._drain_waiters, []

@@ -22,7 +22,7 @@ class BlockRequest:
     """One contiguous device I/O submitted to a scheduler."""
 
     __slots__ = ("id", "op", "lbn", "nbytes", "stream", "submit_time",
-                 "done", "meta", "dispatch_time", "complete_time")
+                 "done", "meta", "dispatch_time", "complete_time", "span")
 
     def __init__(self, env: Environment, op: Op, lbn: int, nbytes: int,
                  stream: int = 0, meta: Any = None) -> None:
@@ -40,6 +40,9 @@ class BlockRequest:
         self.meta = meta
         self.dispatch_time: Optional[float] = None
         self.complete_time: Optional[float] = None
+        #: Open observability span (queue-wait, then device-service)
+        #: when the submitter asked for tracing; None otherwise.
+        self.span = None
 
     @property
     def end(self) -> int:

@@ -282,6 +282,42 @@ class AuditConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """The observability layer (:mod:`repro.obs`): tracing + metrics.
+
+    Disabled by default, following the ``BlockTracer`` pattern: with
+    ``enabled`` False no tracer or registry is built, instrumented
+    sites see a ``None`` attribute, and a run pays one attribute load
+    per site (measured by ``benchmarks/perf/obs_bench.py``).
+    """
+
+    enabled: bool = False
+    #: Record request span trees (client → network → server → device).
+    trace: bool = True
+    #: Run the metrics registry + sim-time sampler process.  Note the
+    #: sampler consumes event-heap sequence numbers, so enabling metrics
+    #: perturbs event schedules — this config is part of the experiment
+    #: cache key for exactly that reason.
+    metrics: bool = True
+    #: Simulated seconds between metric samples.
+    sample_period: float = 0.05
+    #: Spans retained in memory before counting drops.
+    max_spans: int = 200_000
+    #: Append span JSONL here at end of run (None = in-memory only).
+    trace_path: Optional[str] = None
+    #: Append metrics JSONL here at end of run (None = in-memory only).
+    metrics_path: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.sample_period <= 0:
+            raise ConfigError("sample_period must be positive")
+        if self.max_spans < 0:
+            raise ConfigError("max_spans must be non-negative")
+        if self.enabled and not (self.trace or self.metrics):
+            raise ConfigError("obs enabled with neither trace nor metrics")
+
+
+@dataclass(frozen=True)
 class RetryConfig:
     """Client-side timeout/retry for PFS sub-requests.
 
@@ -361,6 +397,7 @@ class ClusterConfig:
     ibridge: IBridgeConfig = field(default_factory=IBridgeConfig)
     audit: AuditConfig = field(default_factory=AuditConfig)
     retry: RetryConfig = field(default_factory=RetryConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     #: Client-side per-request overhead (MPI-IO + PVFS2 client split).
     client_overhead: float = 50 * US
     #: Uniform per-request client think-time jitter upper bound.  Models
@@ -398,6 +435,7 @@ class ClusterConfig:
         self.ibridge.validate()
         self.audit.validate()
         self.retry.validate()
+        self.obs.validate()
 
     def with_ibridge(self, **overrides) -> "ClusterConfig":
         """Copy of this config with iBridge enabled (plus overrides)."""
@@ -413,6 +451,11 @@ class ClusterConfig:
         """Copy of this config with adjusted client retry parameters."""
         retry = dataclasses.replace(self.retry, **overrides)
         return dataclasses.replace(self, retry=retry)
+
+    def with_obs(self, **overrides) -> "ClusterConfig":
+        """Copy of this config with observability enabled (+ overrides)."""
+        obs = dataclasses.replace(self.obs, enabled=True, **overrides)
+        return dataclasses.replace(self, obs=obs)
 
     def without_ibridge(self) -> "ClusterConfig":
         """Copy of this config with iBridge disabled (the stock system)."""

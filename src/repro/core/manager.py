@@ -139,6 +139,11 @@ class IBridgeManager:
                              self._log.segment_size))
         #: Invariant auditor (None unless the run enables auditing).
         self.audit = audit.attach_manager(self) if audit is not None else None
+        #: Observability tracer / metrics registry (wired by the
+        #: cluster's ObsRuntime; None on untraced runs — every
+        #: instrumented site below guards on that).
+        self.obs = None
+        self.metrics = None
         self._shutdown = False
         env.process(self._writeback_daemon(), name=f"ib{server_id}-writeback")
         env.process(self._fill_daemon(), name=f"ib{server_id}-fill")
@@ -171,36 +176,71 @@ class IBridgeManager:
         return base
 
     # =================================================== main entry point
-    def handle(self, sub: SubRequest):
-        """Serve one sub-request; generator completing when data moved."""
+    def handle(self, sub: SubRequest, span=None):
+        """Serve one sub-request; generator completing when data moved.
+
+        ``span`` is the server job span of a traced run; the manager
+        opens its own child span carrying the admission decision
+        (classification, Eq. 1/3 return, route taken) as attributes.
+        """
         self.stats.sub_requests += 1
         if sub.is_fragment:
             self.stats.fragments_seen += 1
         if sub.is_random:
             self.stats.randoms_seen += 1
+        obs = self.obs
+        mspan = None
+        if obs is not None and span is not None:
+            mspan = obs.start(
+                "ibridge.write" if sub.op is Op.WRITE else "ibridge.read",
+                "server", span.trace_id, self.env.now, parent=span,
+                server=self.server_id, fragment=sub.is_fragment,
+                random=sub.is_random)
         if sub.op is Op.WRITE:
-            yield from self._handle_write(sub)
+            yield from self._handle_write(sub, mspan)
         else:
-            yield from self._handle_read(sub)
+            yield from self._handle_read(sub, mspan)
+        if mspan is not None:
+            obs.finish(mspan, self.env.now)
 
     # =================================================== write path
-    def _handle_write(self, sub: SubRequest):
+    def _handle_write(self, sub: SubRequest, span=None):
         if self.audit:
             self.audit.note_client_write(sub.nbytes)
         kind = self._classify(sub)
         if kind is not None and self._log is not None and self.ssd_available:
             ret = self._return_value(sub, kind, Op.WRITE)
+            self._observe_benefit(kind, Op.WRITE, ret)
+            if span is not None:
+                span.annotate(kind=kind.name.lower(), ret=ret)
             if ret > 0 and self.partition.admissible(kind, sub.nbytes):
                 ok = yield from self._make_room(kind, sub.nbytes)
                 if ok:
-                    yield from self._ssd_write(sub, kind, ret)
+                    yield from self._ssd_write(sub, kind, ret, span)
                     return
                 self.stats.rejected_admissions += 1
             elif ret <= 0:
                 self.stats.negative_returns += 1
-        yield from self._disk_write(sub)
+        yield from self._disk_write(sub, span)
 
-    def _ssd_write(self, sub: SubRequest, kind: CacheKind, ret: float):
+    def _observe_benefit(self, kind: CacheKind, op: Op, ret: float) -> None:
+        """Feed an Eq. 1/3 return value into the metrics histogram."""
+        metrics = self.metrics
+        if metrics is not None:
+            from ..obs.metrics import BENEFIT_BUCKETS
+            metrics.histogram("ibridge_benefit", BENEFIT_BUCKETS,
+                              server=self.server_id, op=op.value,
+                              kind=kind.name.lower()).observe(ret)
+
+    def _count_admission(self, kind: CacheKind, path: str) -> None:
+        """Count one SSD admission (write redirect or read fill)."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("ibridge_admissions", server=self.server_id,
+                            kind=kind.name.lower(), path=path).inc()
+
+    def _ssd_write(self, sub: SubRequest, kind: CacheKind, ret: float,
+                   span=None):
         """Redirect a write into the SSD log."""
         # A write supersedes any cached data overlapping its range.
         yield from self._invalidate_overlaps(sub.handle, sub.local_offset,
@@ -216,7 +256,7 @@ class IBridgeManager:
             ok = yield from self._make_room(kind, sub.nbytes)
             if not (ok and self.partition.fits(kind, sub.nbytes)):
                 self.stats.rejected_admissions += 1
-                yield from self._disk_write(sub)
+                yield from self._disk_write(sub, span)
                 return
         # The mapping-table entry is persisted alongside the data, so the
         # log allocation includes it — keeping successive appends exactly
@@ -224,7 +264,7 @@ class IBridgeManager:
         payload = sub.nbytes + TABLE_ENTRY_BYTES
         if not self._log.can_append(payload):
             self.stats.rejected_admissions += 1
-            yield from self._disk_write(sub)
+            yield from self._disk_write(sub, span)
             return
         lbn = self._log.append(payload)
         entry = CacheEntry(handle=sub.handle, start=sub.local_offset,
@@ -233,16 +273,20 @@ class IBridgeManager:
         self.mapping.insert(entry)
         self.partition.add(entry)
         self._by_lbn[lbn] = entry
-        req = self.ssd_queue.submit(Op.WRITE, lbn, payload, stream=sub.rank)
+        if span is not None:
+            span.annotate(route="ssd-log")
+        req = self.ssd_queue.submit(Op.WRITE, lbn, payload, stream=sub.rank,
+                                    obs_parent=span)
         self.model.observe_ssd()
         self.stats.ssd_redirected_writes += 1
         self.stats.bytes_from_ssd += sub.nbytes
+        self._count_admission(kind, "write")
         if self.audit:
             self.audit.note_ssd_redirect(sub.nbytes)
             self.audit.check("ssd_write")
         yield req.done
 
-    def _disk_write(self, sub: SubRequest):
+    def _disk_write(self, sub: SubRequest, span=None):
         """Serve a write at the disk, keeping SSD cache coherent."""
         yield from self._invalidate_overlaps(sub.handle, sub.local_offset,
                                              sub.local_end, flush_uncovered=True,
@@ -252,7 +296,10 @@ class IBridgeManager:
                                                   sub.nbytes)
         self.model.observe_disk(Op.WRITE, ranges[0][0], sub.nbytes,
                                 self.hdd_queue.device.head)
-        reqs = [self.hdd_queue.submit(Op.WRITE, lbn, size, stream=sub.rank)
+        if span is not None:
+            span.annotate(route="disk")
+        reqs = [self.hdd_queue.submit(Op.WRITE, lbn, size, stream=sub.rank,
+                                      obs_parent=span)
                 for lbn, size in ranges]
         self.stats.disk_served += 1
         self.stats.bytes_from_disk += sub.nbytes
@@ -292,7 +339,7 @@ class IBridgeManager:
             return rs, re_
         return gs, ge
 
-    def _handle_read(self, sub: SubRequest):
+    def _handle_read(self, sub: SubRequest, span=None):
         start, end = sub.local_offset, sub.local_end
         pieces = self.mapping.pieces(sub.handle, start, end)
         gaps = self.mapping.gaps(sub.handle, start, end)
@@ -300,7 +347,8 @@ class IBridgeManager:
         ssd_bytes = 0
         for ps, pe, entry, delta in pieces:
             pending.append(self.ssd_queue.submit(
-                Op.READ, entry.ssd_lbn + delta, pe - ps, stream=sub.rank))
+                Op.READ, entry.ssd_lbn + delta, pe - ps, stream=sub.rank,
+                obs_parent=span))
             self.partition.touch(entry, self.env.now)
             ssd_bytes += pe - ps
 
@@ -315,7 +363,8 @@ class IBridgeManager:
                 if first_disk_lbn is None:
                     first_disk_lbn = lbn
                 pending.append(self.hdd_queue.submit(Op.READ, lbn, size,
-                                                     stream=sub.rank))
+                                                     stream=sub.rank,
+                                                     obs_parent=span))
                 disk_bytes += size
 
         if disk_bytes:
@@ -330,6 +379,10 @@ class IBridgeManager:
         self.stats.bytes_from_ssd += ssd_bytes
         self.stats.bytes_from_disk += payload_bytes
         self.stats.readahead_bytes += disk_bytes - payload_bytes
+        if span is not None:
+            span.annotate(route=("ssd" if not disk_bytes else
+                                 "disk" if not ssd_bytes else "mixed"),
+                          ssd_bytes=ssd_bytes, disk_bytes=disk_bytes)
         if self.audit:
             self.audit.note_read(sub.nbytes, ssd_bytes, payload_bytes,
                                  disk_bytes - payload_bytes)
@@ -344,6 +397,7 @@ class IBridgeManager:
             kind = self._classify(sub)
             if kind is not None and self.partition.admissible(kind, sub.nbytes):
                 ret = self._return_value(sub, kind, Op.READ)
+                self._observe_benefit(kind, Op.READ, ret)
                 if ret > 0:
                     self._fill_tasks.put((sub.handle, start, end, kind, ret))
 
@@ -615,6 +669,7 @@ class IBridgeManager:
             self.partition.add(entry)
             self._by_lbn[lbn] = entry
             self.stats.fill_bytes += end - start
+            self._count_admission(kind, "fill")
             if self.audit:
                 self.audit.note_fill(end - start)
                 self.audit.check("fill")

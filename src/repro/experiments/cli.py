@@ -19,8 +19,9 @@ import sys
 import time
 from typing import List, Optional
 
-from ..config import AuditConfig
-from .common import DEFAULT_SCALE, set_default_audit, set_default_fault_plan
+from ..config import AuditConfig, ObsConfig
+from .common import (DEFAULT_SCALE, set_default_audit, set_default_fault_plan,
+                     set_default_obs)
 from .registry import EXPERIMENTS, get
 from .runner import DEFAULT_CACHE_DIR, set_sweep_defaults
 
@@ -81,6 +82,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--audit-trace", metavar="PATH", default=None,
                         help="mirror audit trace events to a JSONL file "
                              "(implies --audit)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="record request/span traces to a JSONL file; "
+                             "also writes a Chrome/Perfetto trace next to "
+                             "it (PATH with a .chrome.json suffix) and "
+                             "prints the critical-path straggler report")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="sample time-series metrics (queue depths, "
+                             "SSD log occupancy, admission counters) to a "
+                             "JSONL file")
     parser.add_argument("--fault-plan", metavar="PATH", default=None,
                         help="run the experiment under the fault plan in "
                              "PATH (JSON, or YAML with PyYAML installed); "
@@ -106,10 +116,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_audit(AuditConfig(enabled=True,
                                       trace_path=args.audit_trace))
 
+    if args.trace_out or args.metrics_out:
+        # Like the audit trace, obs files are appended per cluster;
+        # truncate each once per CLI invocation.
+        for path in (args.trace_out, args.metrics_out):
+            if path:
+                open(path, "w", encoding="utf-8").close()
+        set_default_obs(ObsConfig(enabled=True,
+                                  trace=args.trace_out is not None,
+                                  metrics=args.metrics_out is not None,
+                                  trace_path=args.trace_out,
+                                  metrics_path=args.metrics_out))
+
     if args.audit_trace and args.jobs > 1:
         # Pool workers appending to one JSONL would interleave; keep the
         # trace coherent by running the matrix in-process.
         print("note: --audit-trace forces --jobs 1 (single trace writer)")
+        args.jobs = 1
+    if (args.trace_out or args.metrics_out) and args.jobs > 1:
+        print("note: --trace-out/--metrics-out force --jobs 1 "
+              "(single trace writer)")
         args.jobs = 1
     if args.profile and args.jobs > 1:
         args.jobs = 1
@@ -150,7 +176,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result)
         print(f"  [{name} finished in {elapsed:.1f}s wall time]")
         print()
+
+    if args.trace_out:
+        _emit_trace_outputs(args.trace_out)
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def _emit_trace_outputs(trace_path: str) -> None:
+    """Post-run trace products: straggler report + Chrome/Perfetto JSON."""
+    from ..obs.critical_path import analyze
+    from ..obs.export import (chrome_path_for, load_spans_jsonl,
+                              write_chrome_trace)
+
+    spans, events = load_spans_jsonl(trace_path)
+    if not spans:
+        print(f"note: no spans recorded in {trace_path}")
+        return
+    report = analyze(spans)
+    print(report.format())
+    chrome_path = chrome_path_for(trace_path)
+    write_chrome_trace(chrome_path, spans, events)
+    print(f"spans written to {trace_path} "
+          f"(Chrome/Perfetto: {chrome_path} — open at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":  # pragma: no cover

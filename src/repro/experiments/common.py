@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.report import format_table
-from ..config import AuditConfig, ClusterConfig
+from ..config import AuditConfig, ClusterConfig, ObsConfig
 from ..devices.base import Op
 from ..pfs.cluster import Cluster
 from ..units import GiB, KiB, MiB
@@ -88,11 +88,27 @@ def set_default_fault_plan(plan) -> None:
     _DEFAULT_FAULT_PLAN = plan
 
 
+#: Process-wide observability default applied by :func:`base_config` —
+#: set by the CLI's ``--trace-out``/``--metrics-out`` flags so every
+#: cluster in a run is traced without per-experiment plumbing.  Like the
+#: audit config, it perturbs event schedules (the metrics sampler is a
+#: sim process), so it is part of the runner's cache key.
+_DEFAULT_OBS: Optional[ObsConfig] = None
+
+
+def set_default_obs(obs: Optional[ObsConfig]) -> None:
+    """Install (or clear, with ``None``) the obs config experiments use."""
+    global _DEFAULT_OBS
+    _DEFAULT_OBS = obs
+
+
 def base_config(num_servers: int = 8, ibridge: bool = False,
                 **overrides) -> ClusterConfig:
     """The paper's testbed configuration (Section III-A)."""
     if _DEFAULT_AUDIT is not None and "audit" not in overrides:
         overrides["audit"] = _DEFAULT_AUDIT
+    if _DEFAULT_OBS is not None and "obs" not in overrides:
+        overrides["obs"] = _DEFAULT_OBS
     cfg = ClusterConfig(num_servers=num_servers, **overrides)
     if ibridge:
         cfg = cfg.with_ibridge()

@@ -48,7 +48,7 @@ from .. import __version__
 
 #: Bump when cached results become incompatible (cell wire format or
 #: engine semantics change in a result-affecting way).
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".ibridge-cache")
@@ -127,32 +127,37 @@ def cell(fn: str, **kwargs: Any) -> Cell:
 
 
 # --------------------------------------------------------------- context
-def _current_context() -> Tuple[Any, Any]:
+def _current_context() -> Tuple[Any, Any, Any]:
     """The process-wide defaults a cell's result depends on.
 
     The audit config changes event schedules (the watchdog process
-    consumes heap sequence numbers), and the fault plan changes
-    behaviour outright — both must be part of the cache key and must be
+    consumes heap sequence numbers), the obs config likewise (the
+    metrics sampler is a sim process), and the fault plan changes
+    behaviour outright — all must be part of the cache key and must be
     re-installed inside worker processes.
     """
     from . import common
-    return (common._DEFAULT_AUDIT, common._DEFAULT_FAULT_PLAN)
+    return (common._DEFAULT_AUDIT, common._DEFAULT_FAULT_PLAN,
+            common._DEFAULT_OBS)
 
 
-def _context_token(context: Tuple[Any, Any]) -> Any:
-    audit, plan = context
+def _context_token(context: Tuple[Any, Any, Any]) -> Any:
+    audit, plan, obs = context
     return {
         "audit": stable_token(audit),
         "fault_plan": None if plan is None else plan.to_dict(),
+        "obs": stable_token(obs),
     }
 
 
-def _worker_init(context: Tuple[Any, Any]) -> None:
-    """Install the parent's audit/fault defaults in a pool worker."""
-    from .common import set_default_audit, set_default_fault_plan
-    audit, plan = context
+def _worker_init(context: Tuple[Any, Any, Any]) -> None:
+    """Install the parent's audit/fault/obs defaults in a pool worker."""
+    from .common import (set_default_audit, set_default_fault_plan,
+                         set_default_obs)
+    audit, plan, obs = context
     set_default_audit(audit)
     set_default_fault_plan(plan)
+    set_default_obs(obs)
 
 
 def _execute(spec: Tuple[str, Tuple[Tuple[str, Any], ...]]) -> Any:

@@ -68,6 +68,9 @@ class Network:
         self._ingress: Dict[str, Resource] = {}
         self.stats = NetworkStats()
         self._faults: List[NetFault] = []
+        #: Observability tracer (:class:`repro.obs.span.Tracer`); wired
+        #: by the cluster's ObsRuntime, None on untraced runs.
+        self.obs = None
 
     # ------------------------------------------------------------- faults
     def add_fault(self, fault: NetFault) -> NetFault:
@@ -106,18 +109,27 @@ class Network:
             table[endpoint] = nic
         return nic
 
-    def send(self, src: str, dst: str, nbytes: int = 0) -> Event:
+    def send(self, src: str, dst: str, nbytes: int = 0,
+             obs_parent=None) -> Event:
         """Deliver a message; the returned event fires at delivery time.
 
         ``nbytes`` is payload size; control messages pass 0 and still
-        pay overhead + latency.
+        pay overhead + latency.  ``obs_parent`` (a span) traces the
+        message as a network span from send to delivery.
         """
         done = self.env.event()
-        self.env.process(self._transfer(src, dst, int(nbytes), done),
+        span = None
+        obs = self.obs
+        if obs is not None and obs_parent is not None:
+            span = obs.start("net.msg", "network", obs_parent.trace_id,
+                             self.env.now, parent=obs_parent, src=src,
+                             dst=dst, nbytes=int(nbytes))
+        self.env.process(self._transfer(src, dst, int(nbytes), done, span),
                          name=f"net:{src}->{dst}")
         return done
 
-    def _transfer(self, src: str, dst: str, nbytes: int, done: Event):
+    def _transfer(self, src: str, dst: str, nbytes: int, done: Event,
+                  span=None):
         env = self.env
         cfg = self.config
         yield env.timeout(cfg.message_overhead)
@@ -127,6 +139,9 @@ class Network:
                 # The message is lost: ``done`` never fires.  Recovery
                 # is the sender's job (client timeout/retry).
                 self.stats.dropped += 1
+                if span is not None:
+                    span.annotate(dropped=True)
+                    self.obs.finish(span, env.now)
                 return
             if extra_delay > 0.0:
                 self.stats.fault_delay_time += extra_delay
@@ -146,4 +161,6 @@ class Network:
         self.stats.messages += 1
         self.stats.bytes += nbytes
         self.stats.wire_time += wire
+        if span is not None and self.obs is not None:
+            self.obs.finish(span, env.now)
         done.succeed()

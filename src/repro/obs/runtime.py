@@ -1,0 +1,170 @@
+"""Per-cluster observability wiring: one telemetry spine per run.
+
+:class:`ObsRuntime` owns the run's :class:`~repro.obs.span.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry` and attaches them to every
+instrumented component (clients, network, servers, iBridge managers,
+block queues) the way :class:`~repro.audit.runtime.AuditRuntime`
+attaches its auditors.  It also installs the sink adapters that make the
+two pre-existing telemetry sources — the audit
+:class:`~repro.audit.trace.EventTrace` and the per-disk
+:class:`~repro.block.blktrace.BlockTracer` — feed the same tracer as
+instant events, so one exported file carries the whole story of a run.
+
+Lifecycle (mirrors the audit runtime):
+
+* built by :class:`~repro.pfs.cluster.Cluster` when
+  ``config.obs.enabled``;
+* the metrics sampler runs as a sim process until :meth:`stop`
+  (``Cluster.shutdown`` calls it, like the watchdog);
+* :meth:`finish_run` (called by the workload harness after the drain)
+  takes a final sample and exports spans/metrics to the configured
+  paths — appending, so multi-cluster experiments accumulate into one
+  file that the CLI truncated once up front (the ``--audit-trace``
+  contract).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .critical_path import RunReport, analyze
+from .export import append_spans
+from .metrics import MetricsRegistry
+from .span import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import ObsConfig
+    from ..pfs.cluster import Cluster
+
+
+class ObsRuntime:
+    """Tracer + metrics registry + component wiring for one cluster."""
+
+    def __init__(self, env, config: "ObsConfig") -> None:
+        self.env = env
+        self.config = config
+        self.tracer: Optional[Tracer] = (
+            Tracer(max_spans=config.max_spans) if config.trace else None)
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if config.metrics else None)
+        self._finished = False
+
+    # ------------------------------------------------------------- wiring
+    def wire_cluster(self, cluster: "Cluster") -> None:
+        """Attach the tracer/registry to every instrumented component."""
+        tracer = self.tracer
+        reg = self.registry
+        cluster.network.obs = tracer
+        if tracer is not None and cluster.audit is not None:
+            self.attach_event_trace(cluster.audit.trace)
+        for server in cluster.servers:
+            server.obs = tracer
+            self._wire_queue(server.ssd_queue, server.id, "ssd")
+            for d, unit in enumerate(server.disks):
+                self._wire_queue(unit.queue, server.id, f"hdd{d}")
+                if tracer is not None:
+                    self.attach_block_tracer(unit.tracer, unit.queue.name)
+                if unit.ibridge is not None:
+                    self._wire_manager(unit.ibridge, server.id, d)
+        if reg is not None:
+            reg.start(self.env, self.config.sample_period)
+
+    def wire_client(self, client) -> None:
+        client.obs = self.tracer
+
+    def _wire_queue(self, queue, server_id: int, dev: str) -> None:
+        queue.obs = self.tracer
+        if self.registry is not None:
+            self.registry.gauge("queue_depth", (lambda q=queue: q.pending),
+                                server=server_id, dev=dev)
+
+    def _wire_manager(self, manager, server_id: int, disk: int) -> None:
+        manager.obs = self.tracer
+        manager.metrics = self.registry
+        reg = self.registry
+        if reg is None:
+            return
+        if manager._log is not None:
+            reg.gauge("ssd_log_live_bytes",
+                      (lambda m=manager: m._log.live_bytes
+                       if m._log is not None else 0),
+                      server=server_id, disk=disk)
+            reg.gauge("ssd_log_free_segments",
+                      (lambda m=manager: m._log.free_segments
+                       if m._log is not None else 0),
+                      server=server_id, disk=disk)
+        reg.gauge("partition_used_bytes",
+                  (lambda m=manager: m.partition.used()),
+                  server=server_id, disk=disk)
+        reg.gauge("partition_fragment_share",
+                  (lambda m=manager: m.partition.shares()[1]),
+                  server=server_id, disk=disk)
+        # Cumulative manager counters sampled as time series: the
+        # sampled deltas are the paper-relevant admission rates.
+        reg.gauge("ibridge_redirected_writes",
+                  (lambda m=manager: m.stats.ssd_redirected_writes),
+                  server=server_id, disk=disk)
+        reg.gauge("ibridge_rejected_admissions",
+                  (lambda m=manager: m.stats.rejected_admissions),
+                  server=server_id, disk=disk)
+
+    # ------------------------------------------------------------ adapters
+    def attach_event_trace(self, trace) -> None:
+        """Mirror audit trace records into the tracer as instant events."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+
+        def sink(record: dict) -> None:
+            attrs = {k: v for k, v in record.items() if k not in ("t", "kind")}
+            tracer.event(f"audit.{record.get('kind', 'event')}",
+                         float(record.get("t", 0.0)), **attrs)
+
+        trace.set_sink(sink)
+
+    def attach_block_tracer(self, block_tracer, dev: str) -> None:
+        """Mirror blktrace dispatch records into the tracer."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+
+        def sink(rec) -> None:
+            tracer.event("blk.dispatch", rec.time, dev=dev,
+                         op=rec.op.name.lower(), sectors=rec.sectors,
+                         merged=rec.merged)
+
+        block_tracer.sink = sink
+
+    # ----------------------------------------------------------- lifecycle
+    def stop(self) -> None:
+        """Stop the metrics sampler (lets ``env.run()`` terminate)."""
+        if self.registry is not None:
+            self.registry.stop()
+
+    def reset(self) -> None:
+        """Drop telemetry accumulated by warm runs (measurement reset)."""
+        if self.tracer is not None:
+            self.tracer.clear()
+        if self.registry is not None:
+            self.registry.clear()
+
+    def finish_run(self) -> None:
+        """Final sample + export to the configured paths (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        if self.registry is not None:
+            self.registry.sample(self.env.now)
+            self.registry.stop()
+            if self.config.metrics_path:
+                self.registry.export_jsonl(self.config.metrics_path)
+        if self.tracer is not None and self.config.trace_path:
+            closed = [s for s in self.tracer.spans if s.end is not None]
+            append_spans(self.config.trace_path, closed, self.tracer.events)
+
+    # ------------------------------------------------------------ analysis
+    def analyze(self) -> RunReport:
+        """Critical-path report over the spans retained in memory."""
+        if self.tracer is None:
+            return RunReport()
+        return analyze(self.tracer.spans)

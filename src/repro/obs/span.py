@@ -1,0 +1,141 @@
+"""Sim-time spans and the tracer that records them.
+
+A :class:`Span` is one timed operation on the path of a request:
+``trace_id`` groups every span of one parent request, ``parent_id``
+links a span to its causal parent, and ``kind`` is the coarse category
+the critical-path analyzer attributes time to (``client``, ``rpc``,
+``network``, ``server``, ``queue``, ``service``).
+
+The tracer follows the ``BlockTracer`` pattern: construction is cheap,
+and every instrumented site guards with ``if tracer is not None`` so a
+run without observability pays one attribute load per site and nothing
+else.  Spans are plain ``__slots__`` objects — a traced run allocates
+one per operation, which is the dominant (and only) tracing cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+#: Span kinds the critical-path analyzer knows how to attribute.
+KIND_CLIENT = "client"
+KIND_RPC = "rpc"
+KIND_NETWORK = "network"
+KIND_SERVER = "server"
+KIND_QUEUE = "queue"
+KIND_SERVICE = "service"
+
+
+class Span:
+    """One timed operation; ``end is None`` while still open."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "kind",
+                 "start", "end", "attrs")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: Optional[int],
+                 name: str, kind: str, start: float,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Span duration; 0.0 while the span is still open."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach (or update) attributes after the span was opened —
+        used where the interesting fact (route taken, return value) is
+        only known mid-operation."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL wire form (see :mod:`repro.obs.export`)."""
+        rec: Dict[str, Any] = {
+            "type": "span", "trace": self.trace_id, "id": self.span_id,
+            "parent": self.parent_id, "name": self.name, "kind": self.kind,
+            "t0": self.start, "t1": self.end,
+        }
+        if self.attrs:
+            rec["attrs"] = self.attrs
+        return rec
+
+    @classmethod
+    def from_dict(cls, rec: Dict[str, Any]) -> "Span":
+        span = cls(rec["trace"], rec["id"], rec.get("parent"), rec["name"],
+                   rec.get("kind", "other"), rec["t0"], rec.get("attrs"))
+        span.end = rec.get("t1")
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Span {self.name} #{self.span_id} trace={self.trace_id} "
+                f"[{self.start}, {self.end})>")
+
+
+class Tracer:
+    """Records spans (and instant events) for one simulated run.
+
+    Retention is bounded by ``max_spans``: past the cap new spans are
+    counted in :attr:`dropped` but not retained (they are still useful
+    as a signal that the in-memory analysis is partial; the JSONL
+    mirror written by :class:`~repro.obs.runtime.ObsRuntime` is not
+    affected because it is fed from the same list before clearing).
+    """
+
+    def __init__(self, max_spans: int = 200_000) -> None:
+        self.enabled = True
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        #: Instant events fed by the EventTrace/BlockTracer adapters.
+        self.events: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------- spans
+    def start(self, name: str, kind: str, trace_id: int, start: float,
+              parent: Optional[Span] = None,
+              parent_id: Optional[int] = None, **attrs: Any) -> Span:
+        """Open a span; pass either a parent span or an explicit id."""
+        if parent is not None:
+            parent_id = parent.span_id
+        span = Span(trace_id, next(self._ids), parent_id, name, kind,
+                    start, attrs or None)
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def finish(self, span: Span, end: float) -> None:
+        span.end = end
+
+    # ------------------------------------------------------------- events
+    def event(self, name: str, time: float, **attrs: Any) -> None:
+        """Record an instant (zero-duration) telemetry event."""
+        rec = {"type": "event", "name": name, "t": time}
+        if attrs:
+            rec["attrs"] = attrs
+        if len(self.events) < self.max_spans:
+            self.events.append(rec)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------- misc
+    def clear(self) -> None:
+        """Drop retained spans/events (measurement-state reset)."""
+        self.spans.clear()
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)

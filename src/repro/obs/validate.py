@@ -1,0 +1,87 @@
+"""Well-formedness validator for exported traces (CI entry point).
+
+Usage::
+
+    python -m repro.obs.validate spans.jsonl [trace.chrome.json]
+
+Checks the span JSONL for structural soundness — every span parented to
+a span of the same trace (or a root), no negative durations, every
+parent span covering its children — and, when given, that the Chrome
+export parses and matches the trace-event schema.  Exits non-zero with
+a per-problem listing on failure; prints a one-line summary on success.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+from .critical_path import EPS, analyze
+from .export import load_spans_jsonl, validate_chrome_trace
+from .span import Span
+
+
+def validate_spans(spans: List[Span]) -> List[str]:
+    """Structural checks over closed spans; returns a list of problems."""
+    problems: List[str] = []
+    by_trace: Dict[int, List[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    for trace_id in sorted(by_trace):
+        group = by_trace[trace_id]
+        ids = {s.span_id for s in group}
+        roots = 0
+        for span in group:
+            where = f"trace {trace_id} span {span.span_id} ({span.name})"
+            if span.parent_id is None:
+                roots += 1
+            elif span.parent_id not in ids:
+                problems.append(f"{where}: parent {span.parent_id} missing")
+            if span.end is not None and span.end < span.start - EPS:
+                problems.append(f"{where}: negative duration "
+                                f"[{span.start}, {span.end}]")
+        if roots != 1:
+            problems.append(f"trace {trace_id}: {roots} root spans "
+                            f"(expected exactly 1)")
+        by_id = {s.span_id: s for s in group}
+        for span in group:
+            if span.parent_id is None or span.parent_id not in by_id:
+                continue
+            parent = by_id[span.parent_id]
+            where = f"trace {trace_id} span {span.span_id} ({span.name})"
+            if span.start < parent.start - EPS:
+                problems.append(f"{where}: starts before parent "
+                                f"({span.start} < {parent.start})")
+            if (span.end is not None and parent.end is not None
+                    and span.end > parent.end + EPS):
+                problems.append(f"{where}: ends after parent "
+                                f"({span.end} > {parent.end})")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.obs.validate spans.jsonl "
+              "[trace.chrome.json]", file=sys.stderr)
+        return 2
+    spans, events = load_spans_jsonl(argv[0])
+    if not spans:
+        print(f"{argv[0]}: no spans found", file=sys.stderr)
+        return 1
+    problems = validate_spans(spans)
+    if len(argv) > 1:
+        problems += [f"chrome: {p}" for p in validate_chrome_trace(argv[1])]
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        print(f"{len(problems)} problem(s) in {argv[0]}", file=sys.stderr)
+        return 1
+    report = analyze(spans)
+    print(f"OK: {len(spans)} spans, {len(events)} events, "
+          f"{report.count} complete traces, "
+          f"mean magnification {report.mean_magnification:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    sys.exit(main(sys.argv[1:]))

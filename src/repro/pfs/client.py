@@ -39,6 +39,9 @@ class PFSClient:
         self.servers = servers
         self.network = network
         self.audit = audit
+        #: Observability tracer (:class:`repro.obs.span.Tracer`); wired
+        #: by the cluster's ObsRuntime, None on untraced runs.
+        self.obs = None
         self.name = f"client{client_id}"
         self._rng = rng_stream(config.seed, f"client:{client_id}")
         self.completed: List[ParentRequest] = []
@@ -98,6 +101,16 @@ class PFSClient:
     def _request(self, parent: ParentRequest, done: Event):
         env = self.env
         parent.submit_time = env.now
+        # The root span opens at submit_time and closes at complete_time
+        # (same ticks, no yields between), so its duration equals the
+        # parent latency reported by analysis.metrics exactly.
+        obs = self.obs
+        root = None
+        if obs is not None:
+            root = obs.start("request", "client", parent.id, env.now,
+                             op=parent.op.value, nbytes=parent.nbytes,
+                             offset=parent.offset, rank=parent.rank,
+                             client=self.id)
         try:
             # Per-request OS/runtime noise; this is what makes concurrent
             # ranks drift out of phase (see ClusterConfig.client_jitter).
@@ -105,6 +118,12 @@ class PFSClient:
                       if self.config.client_jitter > 0 else 0.0)
             yield env.timeout(self.config.client_overhead + jitter)
             subs = self.split(parent)
+            if root is not None:
+                for sub in subs:
+                    sub.span = obs.start(
+                        "subreq", "rpc", parent.id, env.now, parent=root,
+                        server=sub.server, nbytes=sub.nbytes,
+                        fragment=sub.is_fragment, random=sub.is_random)
             completions = []
             for sub in subs:
                 completions.append(self._sub_round_trip(sub))
@@ -122,9 +141,14 @@ class PFSClient:
                 self.audit.trace.emit(env.now, "client_give_up",
                                       client=self.id, parent=parent.id,
                                       error=type(exc).__name__)
+            if root is not None:
+                root.annotate(failed=type(exc).__name__)
+                obs.finish(root, env.now)
             done.fail(exc)
             return
         parent.complete_time = env.now
+        if root is not None:
+            obs.finish(root, env.now)
         self.completed.append(parent)
         if self.collector is not None:
             self.collector.append(parent)
@@ -150,19 +174,26 @@ class PFSClient:
 
         def attempt(attempt_done: Event):
             req_payload = sub.nbytes if sub.op is Op.WRITE else 0
-            yield self.network.send(self.name, server.name, req_payload)
+            yield self.network.send(self.name, server.name, req_payload,
+                                    obs_parent=sub.span)
             served = server.submit(sub)
             yield served
             resp_payload = sub.nbytes if sub.op is Op.READ else 0
-            yield self.network.send(server.name, self.name, resp_payload)
+            yield self.network.send(server.name, self.name, resp_payload,
+                                    obs_parent=sub.span)
             if not attempt_done.triggered:
                 attempt_done.succeed(sub)
+
+        def finish_span():
+            if sub.span is not None and self.obs is not None:
+                self.obs.finish(sub.span, env.now)
 
         def run():
             if not retry.enabled:
                 one = env.event()
                 env.process(attempt(one), name=f"{self.name}-s{sub.id}a0")
                 yield one
+                finish_span()
                 finished.succeed(sub)
                 return
             attempts = retry.max_retries + 1
@@ -173,6 +204,7 @@ class PFSClient:
                 deadline = env.timeout(retry.timeout)
                 fired = yield env.any_of([attempt_done, deadline])
                 if attempt_done in fired:
+                    finish_span()
                     finished.succeed(sub)
                     return
                 self.timeouts += 1

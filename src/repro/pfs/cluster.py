@@ -91,6 +91,14 @@ class Cluster:
         self.mds.bind_servers(self.servers)
         self._clients: Dict[int, PFSClient] = {}
         self.requests: List[ParentRequest] = []
+        # Observability: one tracer + metrics registry for the whole
+        # cluster, attached to every instrumented component (same
+        # shared-runtime shape as the audit layer above).
+        self.obs = None
+        if self.config.obs.enabled:
+            from ..obs.runtime import ObsRuntime
+            self.obs = ObsRuntime(self.env, self.config.obs)
+            self.obs.wire_cluster(self)
         self.faults = None
         if fault_plan is not None and len(fault_plan):
             from ..faults import FaultInjector
@@ -105,6 +113,8 @@ class Cluster:
             cl = PFSClient(self.env, client_id, self.config, self.layout,
                            self.servers, self.network, audit=self.audit)
             cl.collector = self.requests
+            if self.obs is not None:
+                self.obs.wire_client(cl)
             self._clients[client_id] = cl
         return cl
 
@@ -145,6 +155,8 @@ class Cluster:
                 server.ibridge.shutdown()
         if self.audit is not None:
             self.audit.stop()
+        if self.obs is not None:
+            self.obs.stop()
 
     # ------------------------------------------------------------- stats
     @property

@@ -57,6 +57,10 @@ class SubRequest:
     #: Servers holding sibling sub-requests (empty for whole requests).
     sibling_servers: Tuple[int, ...] = ()
     id: int = field(default_factory=lambda: next(_request_ids))
+    #: Observability span (kind ``rpc``) opened by the client when the
+    #: run is traced; servers parent their job spans under it.  This is
+    #: the trace-context propagation field of the wire protocol.
+    span: Optional[object] = None
 
     @property
     def local_end(self) -> int:

@@ -67,6 +67,9 @@ class DataServer:
         if audit is None and config.audit.enabled:
             audit = AuditRuntime(env, config.audit)
         self.audit = audit
+        #: Observability tracer (:class:`repro.obs.span.Tracer`); wired
+        #: by the cluster's ObsRuntime, None on untraced runs.
+        self.obs = None
 
         self.ssd = SolidStateDrive(config.ssd)
         self.ssd_queue = BlockQueue(env, self.ssd,
@@ -177,14 +180,28 @@ class DataServer:
         done = self.env.event()
         if self.crashed:
             return done
-        self.env.process(self._job(sub, done, self.epoch),
+        obs = self.obs
+        span = None
+        if obs is not None and sub.span is not None:
+            span = obs.start(f"{self.name}.job", "server", sub.span.trace_id,
+                             self.env.now, parent=sub.span, server=self.id)
+        self.env.process(self._job(sub, done, self.epoch, span),
                          name=f"{self.name}-job")
         return done
 
-    def _job(self, sub: SubRequest, done: Event, epoch: int):
+    def _job(self, sub: SubRequest, done: Event, epoch: int, span=None):
         env = self.env
+        obs = self.obs
         with self._slots.request() as slot:
-            yield slot
+            if span is not None:
+                # Time spent waiting for a Trove I/O slot is queueing,
+                # not service — give it its own span.
+                wait = obs.start("slot.wait", "queue", span.trace_id,
+                                 env.now, parent=span)
+                yield slot
+                obs.finish(wait, env.now)
+            else:
+                yield slot
             yield env.timeout(self.config.server.request_overhead)
             self.stats.jobs += 1
             if sub.op is Op.WRITE:
@@ -193,9 +210,11 @@ class DataServer:
                 self.stats.bytes_read += sub.nbytes
             unit = self._disk_of(sub.handle)
             if unit.ibridge is not None and self.config.primary_store == "hdd":
-                yield from unit.ibridge.handle(sub)
+                yield from unit.ibridge.handle(sub, span)
             else:
-                yield from self._stock_io(sub)
+                yield from self._stock_io(sub, span)
+        if span is not None:
+            obs.finish(span, env.now)
         if self.crashed or self.epoch != epoch:
             # The server crashed while this job was in flight: whatever
             # the devices completed stays done, but the reply is lost.
@@ -232,7 +251,7 @@ class DataServer:
             unit.queue.resume()
         self.ssd_queue.resume()
 
-    def _stock_io(self, sub: SubRequest):
+    def _stock_io(self, sub: SubRequest, span=None):
         """Serve directly from the primary store (no iBridge)."""
         store = self.primary_store_for(sub.handle)
         queue = self.primary_queue_for(sub.handle)
@@ -242,7 +261,8 @@ class DataServer:
         else:
             ranges = store.ranges_for_read(sub.handle, sub.local_offset,
                                            sub.nbytes)
-        reqs = [queue.submit(sub.op, lbn, size, stream=sub.rank)
+        reqs = [queue.submit(sub.op, lbn, size, stream=sub.rank,
+                             obs_parent=span)
                 for lbn, size in ranges]
         yield self.env.all_of([r.done for r in reqs])
 

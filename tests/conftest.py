@@ -41,6 +41,7 @@ _server_mod.DataServer.__init__ = _audited_server_init
 
 @pytest.fixture(autouse=True)
 def _no_experiment_audit_override():
-    """Keep the experiments' process-wide audit hook test-local."""
+    """Keep the experiments' process-wide audit/obs hooks test-local."""
     yield
     _exp_common.set_default_audit(None)
+    _exp_common.set_default_obs(None)

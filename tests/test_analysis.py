@@ -42,6 +42,38 @@ def test_latency_stats_empty():
     assert stats.mean == 0.0
 
 
+def test_latency_stats_single_sample():
+    stats = LatencyStats.from_latencies([0.25])
+    # Every summary statistic of a singleton collapses to the sample.
+    assert stats.count == 1
+    assert stats.mean == pytest.approx(0.25)
+    assert stats.p50 == pytest.approx(0.25)
+    assert stats.p95 == pytest.approx(0.25)
+    assert stats.p99 == pytest.approx(0.25)
+    assert stats.max == pytest.approx(0.25)
+
+
+def test_latency_stats_all_equal():
+    stats = LatencyStats.from_latencies([0.5] * 17)
+    assert stats.count == 17
+    assert stats.mean == pytest.approx(0.5)
+    assert stats.p50 == stats.p95 == stats.p99 == stats.max
+    assert stats.max == pytest.approx(0.5)
+
+
+def test_latency_stats_p99_tiny_n():
+    # With n=2, p99 interpolates inside [min, max]: it must stay
+    # bounded by the extremes and ordered against p95/p50.
+    stats = LatencyStats.from_latencies([0.1, 0.9])
+    assert stats.p50 <= stats.p95 <= stats.p99 <= stats.max
+    assert stats.p99 <= 0.9 + 1e-12
+    assert stats.p99 >= 0.1
+    assert stats.max == pytest.approx(0.9)
+    # Order of the input must not matter.
+    rev = LatencyStats.from_latencies([0.9, 0.1])
+    assert rev.p99 == pytest.approx(stats.p99)
+
+
 def test_improvement_and_reduction():
     assert improvement(100, 250) == pytest.approx(150.0)
     assert improvement(0, 10) == 0.0

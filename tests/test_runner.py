@@ -159,6 +159,26 @@ def test_cache_key_includes_audit_and_fault_context(tmp_path):
     assert second.executed == 1 and second.cached == 0
 
 
+def test_cache_key_includes_obs_context(tmp_path):
+    from repro.config import ObsConfig
+    cells = [cell(PROBE, a=7)]
+    run_cells(cells, jobs=1, cache=True, cache_dir=str(tmp_path))
+    # Flipping the process-wide obs default must miss the cache (the
+    # metrics sampler is a sim process, consuming heap seq numbers).
+    old = exp_common._DEFAULT_OBS
+    exp_common.set_default_obs(ObsConfig(enabled=True))
+    try:
+        second = run_cells(cells, jobs=1, cache=True,
+                           cache_dir=str(tmp_path))
+        assert second.executed == 1 and second.cached == 0
+        # Same obs context again: warm hit.
+        third = run_cells(cells, jobs=1, cache=True,
+                          cache_dir=str(tmp_path))
+        assert third.executed == 0 and third.cached == 1
+    finally:
+        exp_common.set_default_obs(old)
+
+
 def test_result_cache_roundtrip_and_torn_write_resistance(tmp_path):
     store = ResultCache(str(tmp_path))
     assert store.get("deadbeef") == (False, None)
