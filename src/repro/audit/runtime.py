@@ -105,6 +105,37 @@ class AuditRuntime:
         """True while no invariant has been violated."""
         return not self.violations
 
+    def verdict(self) -> Dict:
+        """Structured oracle verdict over the run so far.
+
+        The raise-on-first-violation contract (strict mode) is the
+        right default for unit tests, but an *oracle* consumer — the
+        chaos episode runner — wants every violation collected and then
+        one machine-readable summary at the end.  Run non-strict
+        (``AuditConfig(strict=False)``) and call this after the run::
+
+            {"ok": False, "violations": 3,
+             "checks": ["dirty-ledger", "livelock"],
+             "watchdog_fired": 1,
+             "first": {"check": "dirty-ledger", "message": "..."}}
+
+        ``checks`` is sorted and de-duplicated so verdicts are stable
+        hash inputs for episode signatures.
+        """
+        first = self.violations[0] if self.violations else None
+        return {
+            "ok": self.ok,
+            "violations": len(self.violations),
+            "checks": sorted({str(v.get("check", "?"))
+                              for v in self.violations}),
+            "watchdog_fired": (self.watchdog.fired
+                               if self.watchdog is not None else 0),
+            "first": (None if first is None else
+                      {"check": first.get("check"),
+                       "message": first.get("message"),
+                       "t": first.get("t")}),
+        }
+
     def final_check(self) -> None:
         """End-of-run conservation over every attached manager."""
         for auditor in self._managers:

@@ -52,7 +52,7 @@ class BlockQueue:
         self.name = name
         self._arrival: Event = env.event()
         self._busy = False
-        self._paused = False
+        self._pause_depth = 0
         self._resume_evt: Optional[Event] = None
         self._inflight = 0
         self._last_activity = env.now
@@ -102,7 +102,7 @@ class BlockQueue:
 
     def idle_duration(self, now: Optional[float] = None) -> float:
         """How long the queue has been completely idle (0 when active)."""
-        if self._busy or self._inflight > 0 or self._paused:
+        if self._busy or self._inflight > 0 or self._pause_depth:
             return 0.0
         return (now if now is not None else self.env.now) - self._last_activity
 
@@ -118,7 +118,7 @@ class BlockQueue:
     @property
     def paused(self) -> bool:
         """True while dispatching is suspended (device fail-stop)."""
-        return self._paused
+        return self._pause_depth > 0
 
     def pause(self) -> None:
         """Suspend dispatching: a fail-stop window on the device.
@@ -128,14 +128,23 @@ class BlockQueue:
         :meth:`resume`.  Queued and newly submitted requests simply
         wait, modelling an outage the upper layers ride out via
         timeout/retry or degraded modes.
+
+        Pauses nest: a server crash pauses every queue on the server,
+        and a device fail-stop window may overlap the crash on one of
+        them.  Each holder must release its own pause before dispatch
+        restarts — with a boolean flag, the server *restart* would lift
+        the device window's pause early and dispatch into a device
+        still in fail-stop (found by repro.chaos, seed 10).
         """
-        self._paused = True
+        self._pause_depth += 1
 
     def resume(self) -> None:
-        """Lift a fail-stop pause; dispatching restarts immediately."""
-        if not self._paused:
+        """Release one pause hold; dispatching restarts at zero holds."""
+        if self._pause_depth == 0:
             return
-        self._paused = False
+        self._pause_depth -= 1
+        if self._pause_depth:
+            return
         if self._resume_evt is not None and not self._resume_evt.triggered:
             self._resume_evt.succeed()
         self._resume_evt = None
@@ -144,7 +153,7 @@ class BlockQueue:
     def _run(self):
         env = self.env
         while True:
-            if self._paused:
+            if self._pause_depth:
                 if self._resume_evt is None:
                     self._resume_evt = env.event()
                 yield self._resume_evt

@@ -1,0 +1,99 @@
+"""``python -m repro.chaos`` — fuzz, or replay the reproducer corpus.
+
+Fuzzing::
+
+    python -m repro.chaos --seed 0 --episodes 20
+    python -m repro.chaos --seed 0 --episodes 200 --jobs 4 \\
+        --corpus chaos-corpus --wall-budget 300
+
+Every episode prints one line with its verdict and signature; the
+campaign ends with a digest over all signatures — run the same command
+twice and the digests must match (the CI chaos-smoke job does exactly
+that).  Failures are shrunk (unless ``--no-shrink``) and written to the
+corpus directory as replayable JSON.
+
+Corpus replay (regression mode)::
+
+    python -m repro.chaos --replay chaos-corpus
+
+re-runs every committed reproducer and checks its expectation
+(``expect: pass`` entries must run clean) and recorded signature.
+
+Exit status: 0 when every episode passed / every replay matched, 1
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .corpus import DEFAULT_CORPUS_DIR, load_corpus, replay_reproducer
+from .runner import fuzz
+from .shrink import DEFAULT_MAX_RUNS
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Seeded fault-space fuzzing with invariant oracles.")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    p.add_argument("--episodes", type=int, default=20,
+                   help="episodes to sample (default 20)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool fan-out for episodes (default 1)")
+    p.add_argument("--corpus", default=DEFAULT_CORPUS_DIR,
+                   help="reproducer directory (default chaos-corpus); "
+                        "'none' disables recording")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="record failures without minimizing them")
+    p.add_argument("--max-shrink-runs", type=int, default=DEFAULT_MAX_RUNS,
+                   help="episode budget per shrink (default %(default)s)")
+    p.add_argument("--wall-budget", type=float, default=None,
+                   help="stop sampling new episodes after this many real "
+                        "seconds (campaign ends at a batch boundary)")
+    p.add_argument("--replay", metavar="DIR", default=None,
+                   help="replay every reproducer in DIR instead of fuzzing")
+    return p
+
+
+def _replay(directory: str) -> int:
+    entries = load_corpus(directory)
+    if not entries:
+        print(f"no reproducers under {directory}")
+        return 0
+    bad = 0
+    for path, repro in entries:
+        verdict = replay_reproducer(repro)
+        mark = "ok" if verdict["ok"] else "FAIL"
+        print(f"{mark:4s}  expect={repro.expect:4s}  {path}")
+        for problem in verdict["problems"]:
+            bad += 1
+            print(f"      {problem}")
+    print(f"replayed {len(entries)} reproducer(s), "
+          f"{bad and 'MISMATCHES' or 'all matched'}")
+    return 1 if bad else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    if args.replay is not None:
+        return _replay(args.replay)
+
+    corpus = None if args.corpus == "none" else args.corpus
+    report = fuzz(seed=args.seed, episodes=args.episodes, jobs=args.jobs,
+                  corpus_dir=corpus, shrink=not args.no_shrink,
+                  max_shrink_runs=args.max_shrink_runs,
+                  wall_budget=args.wall_budget, log=print)
+    ran = len(report.results)
+    failed = len(report.failures)
+    print(f"campaign seed={report.seed}: {ran} episode(s), "
+          f"{failed} failure(s), {report.wall_seconds:.1f}s")
+    print(f"digest {report.digest}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""The reproducer corpus: failing scenarios as replayable JSON files.
+
+Every failing (and subsequently shrunk) episode is written to the
+corpus directory as one self-contained JSON file named after its spec
+hash.  A reproducer carries an ``expect`` field:
+
+* ``"fail"`` — a fresh finding: the episode is *expected* to fail this
+  way.  This is what the fuzzer writes; it documents an open bug.
+* ``"pass"`` — a regression guard: the bug was fixed, the scenario must
+  now complete cleanly.  Committed corpus entries are flipped to
+  ``pass`` as part of the fix and replayed by the test suite and the CI
+  chaos-smoke job forever after.
+
+Replay (:func:`replay_reproducer`) re-runs the spec and checks both the
+expectation and — when the file recorded a signature — bit-identical
+behaviour, so a reproducer doubles as a determinism probe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ChaosError
+from ..experiments.runner import stable_hash
+
+#: Default corpus location (relative to the working directory).
+DEFAULT_CORPUS_DIR = "chaos-corpus"
+
+_SCHEMA = 1
+
+
+@dataclass
+class Reproducer:
+    """One corpus entry."""
+
+    spec: Dict
+    #: "fail" (open finding) or "pass" (fixed; regression guard).
+    expect: str = "fail"
+    #: Failure list recorded when the entry was written ("" for pass).
+    failures: List[str] = dataclasses.field(default_factory=list)
+    #: Episode signature at record time (determinism probe; optional).
+    signature: Optional[str] = None
+    #: Free-form provenance ("found by seed 7 episode 12; shrunk 9->1").
+    note: str = ""
+
+    def to_dict(self) -> Dict:
+        return {"schema": _SCHEMA, "expect": self.expect,
+                "failures": list(self.failures),
+                "signature": self.signature, "note": self.note,
+                "spec": self.spec}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Reproducer":
+        if not isinstance(data, dict) or "spec" not in data:
+            raise ChaosError("a reproducer is a mapping with a 'spec'")
+        if data.get("schema") != _SCHEMA:
+            raise ChaosError(f"unsupported reproducer schema "
+                             f"{data.get('schema')!r}")
+        expect = data.get("expect", "fail")
+        if expect not in ("fail", "pass"):
+            raise ChaosError(f"reproducer expect must be 'fail' or "
+                             f"'pass', got {expect!r}")
+        return cls(spec=data["spec"], expect=expect,
+                   failures=list(data.get("failures", [])),
+                   signature=data.get("signature"),
+                   note=data.get("note", ""))
+
+    @property
+    def name(self) -> str:
+        """Stable short identity derived from the spec alone."""
+        return stable_hash(self.spec)[:12]
+
+
+def save_reproducer(directory: str, repro: Reproducer) -> str:
+    """Write one corpus entry; returns its path (stable per spec)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"chaos-{repro.name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(repro.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> List:
+    """All reproducers in ``directory`` -> [(path, Reproducer)], sorted
+    by filename so replay order is stable across machines."""
+    if not os.path.isdir(directory):
+        return []
+    out = []
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json"):
+            continue
+        path = os.path.join(directory, entry)
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ChaosError(f"corrupt reproducer {path}: {exc}") from None
+        out.append((path, Reproducer.from_dict(data)))
+    return out
+
+
+def replay_reproducer(repro: Reproducer,
+                      run_fn: Optional[Callable[[Dict], Dict]] = None) -> Dict:
+    """Re-run a corpus entry; returns a verdict dict.
+
+    ``ok`` means the episode matched the expectation (and, when the
+    entry recorded a signature, replayed bit-identically).
+    """
+    if run_fn is None:
+        from .episode import run_episode
+        run_fn = run_episode
+    result = run_fn(repro.spec)
+    problems: List[str] = []
+    if repro.expect == "pass" and not result["ok"]:
+        problems.append("expected clean run, got failures: "
+                        + ", ".join(result["failures"]))
+    if repro.expect == "fail" and result["ok"]:
+        problems.append("expected failure, episode passed — if the bug "
+                        "was fixed, flip this entry to expect=pass")
+    if repro.signature and result["signature"] != repro.signature:
+        problems.append(f"signature drift: recorded {repro.signature[:12]}, "
+                        f"replayed {result['signature'][:12]}")
+    return {"ok": not problems, "problems": problems, "result": result}

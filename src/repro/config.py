@@ -307,12 +307,22 @@ class ObsConfig:
     trace_path: Optional[str] = None
     #: Append metrics JSONL here at end of run (None = in-memory only).
     metrics_path: Optional[str] = None
+    #: Stream spans to ``trace_path`` incrementally: after this many
+    #: span closures the pending batch is appended and fsync-flushed, so
+    #: traces from aborted / OOM-killed / budget-killed runs survive up
+    #: to the last batch instead of vanishing with ``finish_run``.
+    #: ``0`` restores export-at-end-of-run-only.  Purely I/O-side: the
+    #: flush is driven by span closures, not by a sim process, so it
+    #: never perturbs event schedules.
+    flush_spans: int = 256
 
     def validate(self) -> None:
         if self.sample_period <= 0:
             raise ConfigError("sample_period must be positive")
         if self.max_spans < 0:
             raise ConfigError("max_spans must be non-negative")
+        if self.flush_spans < 0:
+            raise ConfigError("flush_spans must be non-negative")
         if self.enabled and not (self.trace or self.metrics):
             raise ConfigError("obs enabled with neither trace nor metrics")
 
@@ -343,6 +353,15 @@ class RetryConfig:
     #: ``backoff_cap`` — the classic capped exponential backoff.
     backoff_factor: float = 2.0
     backoff_cap: float = 2.0
+    #: Total simulated seconds a sub-request may spend retrying before
+    #: the client gives up, regardless of how many attempts remain.
+    #: ``None`` disables the cap (attempt-count bound only).  The cap
+    #: exists because the attempt budget alone is unbounded in *time*:
+    #: a slow-but-not-lost attempt restarts the per-attempt deadline, so
+    #: pathological fault overlaps could stretch a "bounded" retry loop
+    #: arbitrarily.  Chaos episodes (:mod:`repro.chaos`) set this to a
+    #: value derived from the fault-plan horizon.
+    total_timeout: Optional[float] = None
 
     def validate(self) -> None:
         if self.timeout <= 0:
@@ -353,6 +372,8 @@ class RetryConfig:
             raise ConfigError("backoff bounds must be non-negative")
         if self.backoff_factor < 1.0:
             raise ConfigError("backoff_factor must be >= 1")
+        if self.total_timeout is not None and self.total_timeout <= 0:
+            raise ConfigError("total_timeout must be positive (or None)")
 
     def backoff(self, attempt: int) -> float:
         """Delay before retry ``attempt`` (0-based), capped exponential."""

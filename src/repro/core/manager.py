@@ -648,8 +648,12 @@ class IBridgeManager:
             # so the check-and-insert below is one atomic step.  Without
             # this, a foreground write admitted during the eviction
             # flush could cover the same range (double-caching) or
-            # refill the class partition (over-commit).
-            if (self.mapping.coverage(handle, start, end) > 0
+            # refill the class partition (over-commit) — and an SSD
+            # fail-stop opening during the idle wait could leave this
+            # fill appending into a log that ssd_restore is about to
+            # replace, stranding a mapping entry with no live extent.
+            if (not self.ssd_available
+                    or self.mapping.coverage(handle, start, end) > 0
                     or not self.partition.fits(kind, end - start)):
                 self.stats.rejected_admissions += 1
                 continue

@@ -57,3 +57,18 @@ class RequestTimeoutError(FaultError):
 
 class DeviceFailedError(StorageError):
     """I/O issued to a device inside a fail-stop window."""
+
+
+class ChaosError(ReproError):
+    """Errors from the randomized resilience tester (:mod:`repro.chaos`)."""
+
+
+class EpisodeBudgetError(ChaosError):
+    """A chaos episode exceeded its step / simulated-time / wall-clock
+    budget.
+
+    Raised *inside* the simulation by the episode budget guard, so it
+    surfaces out of ``env.run()`` and aborts the episode instead of
+    hanging the harness; the runner records it as a ``budget-exceeded``
+    failure verdict.
+    """

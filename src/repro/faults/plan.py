@@ -152,6 +152,38 @@ class FaultEvent:
         return event
 
 
+#: Fault kinds whose windows may NOT overlap on the same target: their
+#: begin/revert actions are not composable (a second ``set_slowdown``
+#: overwrites the first and the first cleanup then clears both; a second
+#: ``pause`` on an already-paused queue resumes too early at the first
+#: window end; crash/ssd-fail transitions are explicitly one-at-a-time).
+#: Network windows are excluded — each installs its own independent
+#: ``NetFault`` and stacking them is well-defined.
+_EXCLUSIVE_KINDS = frozenset({FaultKind.DEVICE_SLOW, FaultKind.DEVICE_FAIL,
+                              FaultKind.SSD_FAIL, FaultKind.SERVER_CRASH})
+
+
+def _target_key(event: FaultEvent) -> Optional[tuple]:
+    """Exclusion-group key for overlap checking (None = no exclusion)."""
+    if event.kind not in _EXCLUSIVE_KINDS:
+        return None
+    if event.kind is FaultKind.SERVER_CRASH:
+        return ("server", event.server)
+    if event.kind is FaultKind.SSD_FAIL:
+        # The SSD fail-stop and a device fault aimed at the SSD both
+        # manipulate the same queue/device; they share one group.
+        return ("ssd", event.server)
+    if event.device == "ssd":
+        return ("ssd", event.server)
+    return ("hdd", event.server, event.disk)
+
+
+def _windows_overlap(a: FaultEvent, b: FaultEvent) -> bool:
+    a_end = float("inf") if a.end is None else a.end
+    b_end = float("inf") if b.end is None else b.end
+    return a.start < b_end and b.start < a_end
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """An ordered, validated set of fault events for one run."""
@@ -172,6 +204,59 @@ class FaultPlan:
             if not isinstance(event, FaultEvent):
                 raise FaultError(f"not a FaultEvent: {event!r}")
             event.validate()
+        # Same-target windows of non-composable kinds must not overlap.
+        # Before this check the overlap semantics were implicit in
+        # FaultInjector._drive (last writer won, cleanups raced); the
+        # plan generator (repro.chaos) relies on rejection to keep its
+        # sampled plans well-defined.
+        by_target: dict = {}
+        for event in self.events:
+            key = _target_key(event)
+            if key is None:
+                continue
+            for other in by_target.setdefault(key, []):
+                if _windows_overlap(event, other):
+                    raise FaultError(
+                        f"plan {self.name!r}: overlapping {event.kind.value} "
+                        f"window [{event.start}, {event.end}) collides with "
+                        f"{other.kind.value} [{other.start}, {other.end}) on "
+                        f"the same target {key}; same-target fail/slow "
+                        f"windows must be disjoint (merge or re-place them)")
+            by_target[key].append(event)
+
+    def horizon(self) -> float:
+        """Latest finite window end (0.0 for an empty plan).
+
+        Whole-run events (``duration=None``) contribute only their start
+        time — they never revert, so there is nothing to wait for.
+        """
+        out = 0.0
+        for event in self.events:
+            out = max(out, event.start if event.end is None else event.end)
+        return out
+
+    @classmethod
+    def merge(cls, *plans: "FaultPlan", name: Optional[str] = None) -> "FaultPlan":
+        """Combine several plans into one validated plan.
+
+        Events keep plan order (first plan's events first); the merged
+        plan is re-validated, so same-target overlaps *across* the
+        source plans are rejected just like overlaps within one plan.
+        The chaos generator builds per-category sub-plans and merges
+        them through this helper.
+        """
+        events: List[FaultEvent] = []
+        names: List[str] = []
+        for plan in plans:
+            if not isinstance(plan, FaultPlan):
+                raise FaultError(f"merge() takes FaultPlans, got {plan!r}")
+            events.extend(plan.events)
+            names.append(plan.name)
+        merged = cls(events=tuple(events),
+                     name=name if name is not None else "+".join(names) or
+                     "fault-plan")
+        merged.validate()
+        return merged
 
     # ------------------------------------------------------ serialization
     def to_dict(self) -> dict:

@@ -48,6 +48,18 @@ class ObsRuntime:
         self.registry: Optional[MetricsRegistry] = (
             MetricsRegistry() if config.metrics else None)
         self._finished = False
+        # Incremental span streaming (config.flush_spans > 0): closed
+        # spans buffer here and hit the JSONL file every flush_spans
+        # closures, so an aborted / budget-killed / OOM-killed episode
+        # still leaves its trace prefix on disk instead of losing
+        # everything export-at-finish would have written.
+        self._stream_buf: list = []
+        self._events_streamed = 0
+        self._streaming = bool(self.tracer is not None
+                               and config.trace_path
+                               and config.flush_spans > 0)
+        if self._streaming:
+            self.tracer.sink = self._span_closed
 
     # ------------------------------------------------------------- wiring
     def wire_cluster(self, cluster: "Cluster") -> None:
@@ -135,6 +147,30 @@ class ObsRuntime:
 
         block_tracer.sink = sink
 
+    # ---------------------------------------------------------- streaming
+    def _span_closed(self, span) -> None:
+        self._stream_buf.append(span)
+        if len(self._stream_buf) >= self.config.flush_spans:
+            self.flush_spans()
+
+    def flush_spans(self) -> int:
+        """Write buffered closed spans (+ new instant events) to the
+        trace path now; returns the number of rows appended.
+
+        No-op unless streaming is on.  Safe to call at any time — the
+        chaos episode runner calls it after catching a typed abort so
+        the failure's trace survives for the reproducer.
+        """
+        if not self._streaming:
+            return 0
+        events = self.tracer.events[self._events_streamed:]
+        self._events_streamed = len(self.tracer.events)
+        if not self._stream_buf and not events:
+            return 0
+        rows = append_spans(self.config.trace_path, self._stream_buf, events)
+        self._stream_buf.clear()
+        return rows
+
     # ----------------------------------------------------------- lifecycle
     def stop(self) -> None:
         """Stop the metrics sampler (lets ``env.run()`` terminate)."""
@@ -147,6 +183,11 @@ class ObsRuntime:
             self.tracer.clear()
         if self.registry is not None:
             self.registry.clear()
+        # Anything still buffered belongs to the discarded passes, and
+        # tracer.clear() emptied the events list the stream index points
+        # into.
+        self._stream_buf.clear()
+        self._events_streamed = 0
 
     def finish_run(self) -> None:
         """Final sample + export to the configured paths (idempotent)."""
@@ -159,8 +200,13 @@ class ObsRuntime:
             if self.config.metrics_path:
                 self.registry.export_jsonl(self.config.metrics_path)
         if self.tracer is not None and self.config.trace_path:
-            closed = [s for s in self.tracer.spans if s.end is not None]
-            append_spans(self.config.trace_path, closed, self.tracer.events)
+            if self._streaming:
+                # Everything closed already streamed; drain the tail.
+                self.flush_spans()
+            else:
+                closed = [s for s in self.tracer.spans if s.end is not None]
+                append_spans(self.config.trace_path, closed,
+                             self.tracer.events)
 
     # ------------------------------------------------------------ analysis
     def analyze(self) -> RunReport:

@@ -16,7 +16,7 @@ one per operation, which is the dominant (and only) tracing cost.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 #: Span kinds the critical-path analyzer knows how to attribute.
 KIND_CLIENT = "client"
@@ -100,6 +100,13 @@ class Tracer:
         self.events: List[Dict[str, Any]] = []
         self.dropped = 0
         self._ids = itertools.count(1)
+        #: Called with each span as it closes (see
+        #: :meth:`~repro.obs.runtime.ObsRuntime.flush_spans`): the hook
+        #: incremental streaming hangs off.  Closure-driven rather than a
+        #: sim process, so enabling it cannot perturb event schedules.
+        #: Note it fires even for spans past the retention cap — the
+        #: streamed file is complete where the in-memory list is partial.
+        self.sink: Optional[Callable[[Span], None]] = None
 
     # ------------------------------------------------------------- spans
     def start(self, name: str, kind: str, trace_id: int, start: float,
@@ -118,6 +125,8 @@ class Tracer:
 
     def finish(self, span: Span, end: float) -> None:
         span.end = end
+        if self.sink is not None:
+            self.sink(span)
 
     # ------------------------------------------------------------- events
     def event(self, name: str, time: float, **attrs: Any) -> None:

@@ -52,6 +52,8 @@ class PFSClient:
         self.timeouts = 0       # sub-request attempts that hit the deadline
         self.retries = 0        # attempts re-issued after a timeout
         self.failures = 0       # parent requests failed after exhaustion
+        self.exhausted = 0      # sub-requests abandoned (any reason)
+        self.wallclock_exhausted = 0  # ... because of retry.total_timeout
 
     # ------------------------------------------------------------- splitting
     def split(self, parent: ParentRequest) -> List[SubRequest]:
@@ -188,6 +190,12 @@ class PFSClient:
             if sub.span is not None and self.obs is not None:
                 self.obs.finish(sub.span, env.now)
 
+        def give_up(exc: RequestTimeoutError, wallclock: bool) -> None:
+            self.exhausted += 1
+            if wallclock:
+                self.wallclock_exhausted += 1
+            finished.fail(exc)
+
         def run():
             if not retry.enabled:
                 one = env.event()
@@ -197,13 +205,40 @@ class PFSClient:
                 finished.succeed(sub)
                 return
             attempts = retry.max_retries + 1
+            start = env.now
+            budget = retry.total_timeout
+            # One shared completion event for every attempt: the round
+            # trip that finishes *first* completes the sub-request, even
+            # when it is an earlier attempt whose deadline already
+            # expired.  Racing each attempt against its own private
+            # event discards those late replies, and under load that
+            # feeds a retry storm: every duplicate deepens the server
+            # queue, pushing every round trip past the deadline, which
+            # mints more duplicates — self-sustaining long after the
+            # fault window that started it reverts (found by
+            # repro.chaos, seed 7).
+            completed = env.event()
             for i in range(attempts):
-                attempt_done = env.event()
-                env.process(attempt(attempt_done),
+                if completed.triggered:
+                    # A straggler replied during the backoff sleep.
+                    finish_span()
+                    finished.succeed(sub)
+                    return
+                if budget is not None and env.now - start >= budget:
+                    # The attempt-count budget alone is unbounded in
+                    # time (each timed-out attempt restarts the clock);
+                    # the wall-clock cap bounds the whole loop.
+                    give_up(RequestTimeoutError(
+                        f"{self.name}: sub-request {sub.id} to server "
+                        f"{sub.server} exceeded its retry wall-clock "
+                        f"budget ({budget}s) after {i} attempts"),
+                        wallclock=True)
+                    return
+                env.process(attempt(completed),
                             name=f"{self.name}-s{sub.id}a{i}")
                 deadline = env.timeout(retry.timeout)
-                fired = yield env.any_of([attempt_done, deadline])
-                if attempt_done in fired:
+                fired = yield env.any_of([completed, deadline])
+                if completed in fired:
                     finish_span()
                     finished.succeed(sub)
                     return
@@ -215,10 +250,10 @@ class PFSClient:
                 if i + 1 < attempts:
                     self.retries += 1
                     yield env.timeout(retry.backoff(i))
-            finished.fail(RequestTimeoutError(
+            give_up(RequestTimeoutError(
                 f"{self.name}: sub-request {sub.id} to server {sub.server} "
                 f"got no reply after {attempts} attempts "
-                f"(timeout {retry.timeout}s each)"))
+                f"(timeout {retry.timeout}s each)"), wallclock=False)
 
         env.process(run(), name=f"{self.name}-s{sub.id}")
         return finished

@@ -1,6 +1,6 @@
 """Workload models: the paper's benchmarks, traces, and the run harness."""
 
-from .base import Workload, run_workload
+from .base import Workload, recovery_snapshot, run_workload
 from .btio import BTIO, btio_io_time, btio_request_size
 from .composite import CompositeWorkload
 from .ior import IorMpiIo
@@ -14,6 +14,7 @@ from .traces import (APP_PROFILES, TABLE1_RANDOM_THRESHOLD, TABLE1_UNIT,
 __all__ = [
     "Workload",
     "run_workload",
+    "recovery_snapshot",
     "MpiIoTest",
     "IorMpiIo",
     "BTIO",

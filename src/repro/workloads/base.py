@@ -100,18 +100,33 @@ def run_workload(cluster: Cluster, workload: Workload, drain: bool = True,
             {"time": r.time, "phase": r.phase, "event": r.event.to_dict(),
              "detail": dict(r.detail)}
             for r in cluster.faults.records]
-        result.recovery = {
-            "timeouts": float(sum(c.timeouts for c in cluster._clients.values())),
-            "retries": float(sum(c.retries for c in cluster._clients.values())),
-            "request_failures": float(sum(c.failures
-                                          for c in cluster._clients.values())),
-            "net_dropped": float(cluster.network.stats.dropped),
-            "net_fault_delay_s": cluster.network.stats.fault_delay_time,
-            "server_crashes": float(sum(s.crashes for s in cluster.servers)),
-            "forfeited_bytes": float(stats.forfeited_bytes if stats else 0),
-            "ssd_outages": float(stats.ssd_outages if stats else 0),
-        }
+        result.recovery = recovery_snapshot(cluster)
     return result
+
+
+def recovery_snapshot(cluster: Cluster) -> dict:
+    """Current recovery telemetry of a cluster as a flat dict.
+
+    Shared by :func:`run_workload` (which attaches it to
+    ``RunResult.recovery``) and the chaos episode runner (which needs
+    the same counters even when a run *aborted* — e.g. retry exhaustion
+    raising out of the rank bodies — and no ``RunResult`` exists).
+    """
+    stats = cluster.ibridge_stats()
+    clients = list(cluster._clients.values())
+    return {
+        "timeouts": float(sum(c.timeouts for c in clients)),
+        "retries": float(sum(c.retries for c in clients)),
+        "request_failures": float(sum(c.failures for c in clients)),
+        "exhausted_subrequests": float(sum(c.exhausted for c in clients)),
+        "retry_wallclock_exceeded": float(sum(c.wallclock_exhausted
+                                              for c in clients)),
+        "net_dropped": float(cluster.network.stats.dropped),
+        "net_fault_delay_s": cluster.network.stats.fault_delay_time,
+        "server_crashes": float(sum(s.crashes for s in cluster.servers)),
+        "forfeited_bytes": float(stats.forfeited_bytes if stats else 0),
+        "ssd_outages": float(stats.ssd_outages if stats else 0),
+    }
 
 
 def _reset_measurement_state(cluster: Cluster) -> None:

@@ -358,3 +358,67 @@ def test_obs_config_validation():
     cfg = ClusterConfig(num_servers=2).with_obs(sample_period=0.1)
     assert cfg.obs.enabled and cfg.obs.sample_period == 0.1
     cfg.validate()
+
+
+# ----------------------------------------------------- span streaming
+def test_span_streaming_flushes_batches_mid_run(tmp_path):
+    from repro.obs.runtime import ObsRuntime
+
+    path = str(tmp_path / "stream.jsonl")
+    cfg = ObsConfig(enabled=True, metrics=False, trace_path=path,
+                    flush_spans=2)
+    rt = ObsRuntime(Environment(), cfg)
+    t = rt.tracer
+    t.finish(t.start("a", "client", 1, 0.0), 1.0)
+    import os
+    assert not os.path.exists(path)  # first closure only buffers
+    t.finish(t.start("b", "client", 2, 0.0), 1.5)
+    spans, _events = load_spans_jsonl(path)  # batch of 2 hit the disk
+    assert [s.name for s in spans] == ["a", "b"]
+    # The tail (one buffered span + an instant event) drains at finish.
+    t.finish(t.start("c", "client", 3, 2.0), 2.5)
+    t.event("marker", 2.6)
+    rt.finish_run()
+    spans, events = load_spans_jsonl(path)
+    assert [s.name for s in spans] == ["a", "b", "c"]
+    assert [e["name"] for e in events] == ["marker"]
+    rt.finish_run()  # idempotent: no duplicate rows
+    spans, events = load_spans_jsonl(path)
+    assert len(spans) == 3 and len(events) == 1
+
+
+def test_span_streaming_reset_drops_warm_run_buffer(tmp_path):
+    from repro.obs.runtime import ObsRuntime
+
+    path = str(tmp_path / "stream.jsonl")
+    cfg = ObsConfig(enabled=True, metrics=False, trace_path=path,
+                    flush_spans=10)
+    rt = ObsRuntime(Environment(), cfg)
+    t = rt.tracer
+    t.finish(t.start("warm", "client", 1, 0.0), 1.0)
+    t.event("warm-marker", 0.5)
+    rt.reset()  # warm pass discarded before it ever flushed
+    t.finish(t.start("measured", "client", 2, 2.0), 3.0)
+    rt.finish_run()
+    spans, events = load_spans_jsonl(path)
+    assert [s.name for s in spans] == ["measured"]
+    assert events == []
+
+
+def test_flush_spans_zero_restores_export_at_finish(tmp_path):
+    from repro.obs.runtime import ObsRuntime
+
+    path = str(tmp_path / "trace.jsonl")
+    cfg = ObsConfig(enabled=True, metrics=False, trace_path=path,
+                    flush_spans=0)
+    rt = ObsRuntime(Environment(), cfg)
+    t = rt.tracer
+    assert t.sink is None  # no streaming hook installed
+    for i in range(5):
+        t.finish(t.start(f"s{i}", "client", i, 0.0), 1.0)
+    assert rt.flush_spans() == 0  # explicit flush is a no-op
+    import os
+    assert not os.path.exists(path)
+    rt.finish_run()
+    spans, _events = load_spans_jsonl(path)
+    assert len(spans) == 5
