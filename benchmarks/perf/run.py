@@ -24,7 +24,7 @@ import sys
 import time
 from typing import Any, Dict, Optional
 
-from . import e2e, fig2_bench, microbench, obs_bench
+from . import e2e, fig2_bench, gc_bench, microbench, obs_bench
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -103,6 +103,14 @@ def run_suite(quick: bool = False, jobs: int = 4,
           f"(+{report['obs']['obs_trace']['overhead_pct']:.1f}%), "
           f"spans+metrics {report['obs']['obs_full']['seconds']:.2f}s "
           f"(+{report['obs']['obs_full']['overhead_pct']:.1f}%)")
+    print("== gc: FTL/GC model overhead (off vs on) ==", flush=True)
+    report["gc"] = gc_bench.run_all(quick=quick)
+    gc_on = report["gc"]["ftl_on"]
+    print(f"  ftl off {report['gc']['ftl_off']['seconds']:.2f}s, "
+          f"ftl on {gc_on['seconds']:.2f}s "
+          f"(+{gc_on['overhead_pct']:.1f}%), "
+          f"WA {gc_on['write_amplification']:.2f}, "
+          f"erases {gc_on['erases']:.0f}")
     if not skip_fig2:
         print("== fig2: full sweep, serial vs pool ==", flush=True)
         report["fig2"] = fig2_bench.run_all(quick=quick, jobs=jobs)

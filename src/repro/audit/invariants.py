@@ -262,6 +262,11 @@ class ManagerAuditor:
                     f"not empty (live {seg.live_bytes}, cursor "
                     f"{seg.write_cursor})", event=event, segment=seg.index)
 
+        # FTL write-amplification ledger (when the device models one):
+        # every physical page program is a host write or a GC copy, and
+        # the page map agrees with the per-block slot state.
+        self._check_ftl(event)
+
         # Cached ranges of one handle never overlap: the interval map's
         # covered bytes must equal the entries' total size.
         spans: Dict[int, Tuple[int, int, int]] = {}
@@ -277,6 +282,17 @@ class ManagerAuditor:
                     f"after {event or 'mutation'}: handle {handle} covers "
                     f"{covered} bytes in its interval map but entries sum "
                     f"to {total}", event=event, handle=handle)
+
+    def _check_ftl(self, event: str) -> None:
+        ftl = getattr(self.manager.ssd_queue.device, "ftl", None)
+        if ftl is None:
+            return
+        from ..errors import StorageError
+        try:
+            ftl.verify()
+        except StorageError as exc:
+            self._fail("ftl-ledger",
+                       f"after {event or 'mutation'}: {exc}", event=event)
 
     # ------------------------------------------------------------- final
     def final_check(self) -> None:

@@ -191,6 +191,10 @@ class BlockQueue:
             tracer.record(env.now, dispatch.op, dispatch.lbn,
                           dispatch.nbytes, len(dispatch.members))
         obs = self.obs
+        # GC/storm share of this service time (SSD FTL model); exposed
+        # as its own span nested in the service span so critical_path
+        # attributes straggling stripe units to garbage collection.
+        gc_stall = getattr(self.device, "last_gc_stall", 0.0)
         for member in dispatch.members:
             member.dispatch_time = env.now
             # Queue-wait ends at dispatch; the service span picks up as
@@ -204,6 +208,12 @@ class BlockQueue:
                     parent_id=span.parent_id, dev=self.name,
                     op=dispatch.op.value, nbytes=member.nbytes,
                     merged=len(dispatch.members))
+                if gc_stall > 0.0:
+                    gc_span = obs.start(
+                        "ssd.gc", "gc", span.trace_id, env.now,
+                        parent=member.span, dev=self.name,
+                        stall=gc_stall)
+                    obs.finish(gc_span, env.now + gc_stall)
         yield env.timeout(service)
         self._busy = False
         self._inflight -= len(dispatch.members)

@@ -69,6 +69,12 @@ def build_config(spec: Dict) -> ClusterConfig:
     )
     if c["ibridge"]:
         config = config.with_ibridge(ssd_partition=c["ssd_partition"])
+    if c.get("ftl"):
+        # Shrink the drive so the few-MiB chaos workloads actually put
+        # the FTL under page pressure (a 120 GiB drive would never GC).
+        from ..units import MiB
+        config = config.with_ftl(
+            capacity=max(8 * c["ssd_partition"], 64 * MiB))
     config.validate()
     return config
 
@@ -115,6 +121,8 @@ def _restoration_failures(cluster: Cluster) -> list:
             out.append(f"restore:server{server.id}-still-crashed")
         if server.ssd_queue.paused:
             out.append(f"restore:server{server.id}-ssd-queue-paused")
+        if getattr(server.ssd, "_storm_depth", 0) > 0:
+            out.append(f"restore:server{server.id}-ssd-storm-active")
         for d, unit in enumerate(server.disks):
             if unit.queue.paused:
                 out.append(f"restore:server{server.id}-hdd{d}-queue-paused")

@@ -172,7 +172,7 @@ def sample_spec(seed: int, index: int) -> Dict:
                       and rng.random() < 0.4 else 0),
     }
     plan = _sample_plan(rng, cluster, index)
-    return {
+    spec = {
         "schema": SPEC_SCHEMA,
         "seed": int(rng.integers(0, 2**31 - 1)),
         "workload": workload,
@@ -181,3 +181,20 @@ def sample_spec(seed: int, index: int) -> Dict:
         "faults": plan.to_dict(),
         "budget": dict(DEFAULT_BUDGET),
     }
+    # FTL/GC-storm knobs sample *after* every pre-existing draw so the
+    # substream prefix — and therefore the scenario that any older
+    # (seed, index) pair maps to — is unchanged.  Storm windows compose
+    # with everything, so no ``next_free`` bookkeeping is needed.
+    cluster["ftl"] = bool(rng.random() < 0.3)
+    if rng.random() < 0.25:
+        target = (None if rng.random() < 0.5  # correlated fleet storm
+                  else int(rng.integers(0, cluster["num_servers"])))
+        storm = FaultEvent(kind=FaultKind.GC_STORM, server=target,
+                           start=_round(rng.uniform(0.0, _FAULT_SPAN)),
+                           duration=_round(rng.uniform(0.01, 0.05)))
+        events = sorted(plan.events + (storm,),
+                        key=lambda e: (e.start, e.kind.value))
+        plan = FaultPlan(events=tuple(events), name=plan.name)
+        plan.validate()
+        spec["faults"] = plan.to_dict()
+    return spec

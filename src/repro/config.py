@@ -126,6 +126,44 @@ class SSDConfig:
     read_setup: float = 40.7 * US
     write_setup: float = 102.3 * US
 
+    # ---- FTL / garbage-collection model (repro.devices.ftl) ----------
+    #: Model the drive's internals: a page-mapped FTL with
+    #: over-provisioning, background/foreground garbage collection, a
+    #: write-amplification ledger, and GC-window read variability.
+    #: Off by default — the plain Table-II timing model is unchanged.
+    ftl_enabled: bool = False
+    #: Flash page size (the FTL's mapping granularity).
+    ftl_page_size: int = 4 * KiB
+    #: Pages per erase block (64 x 4 KiB = 256 KiB erase blocks).
+    ftl_pages_per_block: int = 64
+    #: Physical capacity = logical capacity * (1 + over-provision).
+    ftl_over_provision: float = 0.25
+    #: Foreground GC engages when the free-block fraction drops below
+    #: this...
+    gc_low_watermark: float = 0.10
+    #: ...and collects until it climbs back above this.
+    gc_high_watermark: float = 0.25
+    #: Time to erase one block.
+    gc_erase_time: float = 2.0 * MS
+    #: Foreground GC charge cap per command in "throttle" mode; "pause"
+    #: mode charges a whole collection burst to the unlucky command.
+    gc_slice: float = 1.5 * MS
+    #: "throttle" (spread GC stalls over commands) or "pause"
+    #: (stop-and-collect bursts).
+    gc_mode: str = "throttle"
+    #: Fleet GC scheduling across the per-server SSD array:
+    #: "unsync" (each drive collects on its own watermark, the
+    #: tail-magnifying default), "sync" (stop-the-fleet: any drive's
+    #: pressure opens a fleet-wide collection window so stalls align
+    #: across stripes), or "stagger" (round-robin time slots; at most
+    #: one drive collects at a time).
+    gc_policy: str = "unsync"
+    #: Stagger policy: length of one drive's collection turn.
+    gc_stagger_slot: float = 20 * MS
+    #: Upper bound of the uniform extra read latency while a drive is
+    #: under GC pressure (read/program/erase contention on the chip).
+    gc_read_jitter: float = 1.0 * MS
+
     def validate(self) -> None:
         if self.capacity <= 0:
             raise ConfigError("SSD capacity must be positive")
@@ -133,6 +171,34 @@ class SSDConfig:
             raise ConfigError("SSD bandwidths must be positive")
         if min(self.read_setup, self.write_setup) < 0:
             raise ConfigError("SSD setup times must be non-negative")
+        if self.ftl_page_size <= 0:
+            raise ConfigError("ftl_page_size must be positive")
+        if self.ftl_pages_per_block < 2:
+            raise ConfigError("ftl_pages_per_block must be >= 2")
+        if self.ftl_over_provision <= 0:
+            raise ConfigError("ftl_over_provision must be positive")
+        if not 0.0 < self.gc_low_watermark < self.gc_high_watermark < 1.0:
+            raise ConfigError(
+                "GC watermarks need 0 < low < high < 1, got "
+                f"{self.gc_low_watermark}/{self.gc_high_watermark}")
+        if self.gc_erase_time < 0 or self.gc_slice < 0:
+            raise ConfigError("GC times must be non-negative")
+        if self.gc_mode not in ("throttle", "pause"):
+            raise ConfigError(f"unknown gc_mode {self.gc_mode!r}")
+        if self.gc_policy not in ("unsync", "sync", "stagger"):
+            raise ConfigError(f"unknown gc_policy {self.gc_policy!r}")
+        if self.gc_stagger_slot <= 0:
+            raise ConfigError("gc_stagger_slot must be positive")
+        if self.gc_read_jitter < 0:
+            raise ConfigError("gc_read_jitter must be non-negative")
+        if self.ftl_enabled:
+            pages = -(-self.capacity // self.ftl_page_size)
+            spare = int(pages * self.ftl_over_provision)
+            if spare < 4 * self.ftl_pages_per_block:
+                raise ConfigError(
+                    "FTL over-provisioning must cover at least 4 erase "
+                    "blocks; shrink ftl_pages_per_block or raise "
+                    "ftl_over_provision/capacity")
 
 
 @dataclass(frozen=True)
@@ -472,6 +538,12 @@ class ClusterConfig:
         """Copy of this config with adjusted client retry parameters."""
         retry = dataclasses.replace(self.retry, **overrides)
         return dataclasses.replace(self, retry=retry)
+
+    def with_ftl(self, **overrides) -> "ClusterConfig":
+        """Copy of this config with the SSD FTL/GC model enabled
+        (plus SSDConfig overrides — watermarks, policy, capacity)."""
+        ssd = dataclasses.replace(self.ssd, ftl_enabled=True, **overrides)
+        return dataclasses.replace(self, ssd=ssd)
 
     def with_obs(self, **overrides) -> "ClusterConfig":
         """Copy of this config with observability enabled (+ overrides)."""

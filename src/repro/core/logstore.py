@@ -77,10 +77,13 @@ class LogStore:
 
     # ------------------------------------------------------------- append
     def can_append(self, nbytes: int) -> bool:
-        if nbytes > self.segment_size:
+        if nbytes <= 0 or nbytes > self.segment_size:
             return False
-        if self._current is not None and self._current.free >= nbytes:
+        cur = self._current
+        if cur is not None and cur.free >= nbytes:
             return True
+        if cur is not None and cur.live_bytes == 0 and cur.write_cursor > 0:
+            return True  # fully-dead current is recycled in place
         return bool(self._free)
 
     def append(self, nbytes: int) -> int:
@@ -91,9 +94,19 @@ class LogStore:
             raise StorageError(
                 f"append of {nbytes} exceeds segment size {self.segment_size}")
         if self._current is None or self._current.free < nbytes:
-            if not self._free:
-                raise StorageError("log store out of free segments (clean first)")
-            self._current = self._free.pop(0)
+            # Rotation re-checks the current segment first: a current
+            # segment fully invalidated *in place* (``invalidate`` skips
+            # ``seg is self._current``) is pure garbage, so it is
+            # recycled here instead of lingering unreclaimed while a
+            # fresh segment is popped from the free list.
+            cur = self._current
+            if (cur is not None and cur.live_bytes == 0
+                    and cur.write_cursor > 0):
+                cur.write_cursor = 0
+            else:
+                if not self._free:
+                    raise StorageError("log store out of free segments (clean first)")
+                self._current = self._free.pop(0)
         seg = self._current
         lbn = seg.start + seg.write_cursor
         seg.write_cursor += nbytes
@@ -131,13 +144,33 @@ class LogStore:
                 if idx == segment.index]
 
     def relocate(self, lbn: int) -> int:
-        """Move a live extent to the log head; returns its new LBN."""
-        info = self._extents.get(lbn)
+        """Move a live extent to the log head; returns its new LBN.
+
+        Invalidate-aware: the source extent is taken off the books
+        *before* the new copy is allocated.  The old append-then-
+        invalidate order transiently double-counted ``live_bytes`` and,
+        worse, could exhaust the free list mid-cleaning (the copy
+        claimed the reserve segment while the source's bytes were still
+        counted live), raising "out of free segments" from inside the
+        cleaner itself.  The source segment is deliberately *not*
+        returned to the free list even when this drains its last live
+        extent — the cleaner owns the victim and recycles it via
+        :meth:`release_victim`.
+        """
+        info = self._extents.pop(lbn, None)
         if info is None:
             raise StorageError(f"relocate of unknown log extent at {lbn}")
-        _seg_idx, nbytes = info
-        new_lbn = self.append(nbytes)
-        self.invalidate(lbn)
+        seg_idx, nbytes = info
+        src = self.segments[seg_idx]
+        src.live_bytes -= nbytes
+        try:
+            new_lbn = self.append(nbytes)
+        except StorageError:
+            # Leave the log exactly as found so a failed relocation is
+            # observable but not corrupting.
+            src.live_bytes += nbytes
+            self._extents[lbn] = info
+            raise
         return new_lbn
 
     def release_victim(self, segment: Segment) -> None:

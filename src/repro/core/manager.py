@@ -422,10 +422,24 @@ class IBridgeManager:
                 yield from self._flush_entry(entry)
             self._drop_entry(entry)
 
+    def _ssd_trim(self, lbn: int, nbytes: int) -> None:
+        """Tell the SSD's FTL (when modelled) that an extent died.
+
+        Log-store invalidations free *logical* log space; without the
+        trim the FTL would keep treating the dead extent's flash pages
+        as valid and copy them around during garbage collection,
+        inflating write amplification beyond what the log's own
+        occupancy justifies.
+        """
+        trim = getattr(self.ssd_queue.device, "trim", None)
+        if trim is not None:
+            trim(lbn, nbytes)
+
     def _drop_entry(self, entry: CacheEntry) -> None:
         self.mapping.remove(entry)
         self.partition.drop(entry)
         self._log.invalidate(entry.ssd_lbn)
+        self._ssd_trim(entry.ssd_lbn, entry.nbytes + TABLE_ENTRY_BYTES)
         self._by_lbn.pop(entry.ssd_lbn, None)
         if self.audit:
             if entry.dirty:
@@ -493,12 +507,22 @@ class IBridgeManager:
                     self._drop_entry(victim)
         return self.partition.fits(kind, nbytes)
 
+    #: Whole free segments the cleaner keeps in reserve.  Cleaning at
+    #: ``reserve=2`` starts while one free segment still remains, so a
+    #: victim's live data always fits in the current segment plus (at
+    #: most) one rotation — the cleaner can never strand itself with
+    #: zero free segments mid-relocation.
+    CLEAN_RESERVE = 2
+
     def _clean_log_if_needed(self):
         """Greedy segment cleaning to keep free log space available."""
         log = self._log
-        while log.needs_cleaning():
+        while log.needs_cleaning(reserve=self.CLEAN_RESERVE):
             victim = log.pick_victim()
-            if victim is None:
+            if victim is None or victim.garbage <= 0:
+                # No candidate, or the best candidate is fully live:
+                # cleaning it would copy a whole segment to reclaim
+                # nothing — pure churn that can livelock the loop.
                 return
             for lbn, size in log.live_extents_in(victim):
                 entry = self._by_lbn.get(lbn)
@@ -506,6 +530,7 @@ class IBridgeManager:
                                              stream=BACKGROUND_STREAM)
                 yield read.done
                 new_lbn = log.relocate(lbn)
+                self._ssd_trim(lbn, size)
                 write = self.ssd_queue.submit(Op.WRITE, new_lbn, size,
                                               stream=BACKGROUND_STREAM)
                 yield write.done
@@ -709,6 +734,7 @@ class IBridgeManager:
             self.mapping.remove(entry)
             self.partition.drop(entry)
             self._log.invalidate(entry.ssd_lbn)
+            self._ssd_trim(entry.ssd_lbn, entry.nbytes + TABLE_ENTRY_BYTES)
             self._by_lbn.pop(entry.ssd_lbn, None)
         self.stats.forfeited_bytes += forfeited
         if self.audit:
@@ -727,6 +753,12 @@ class IBridgeManager:
         if self._log_params is not None:
             base, region, seg = self._log_params
             self._log = LogStore(base=base, region=region, segment_size=seg)
+        # A replacement drive arrives factory-fresh: its FTL holds no
+        # valid pages from the failed device.  (Idempotent when several
+        # managers share the server's SSD.)
+        reset = getattr(self.ssd_queue.device, "ftl_reset", None)
+        if reset is not None:
+            reset()
         self.ssd_available = True
         if self.audit:
             self.audit.check("ssd_restore")

@@ -99,6 +99,18 @@ class Device(abc.ABC):
         """Tell the device it sat idle for ``idle_gap`` seconds before
         the request about to be served (rotational state decays)."""
 
+    def service_extra(self, op: Op, lbn: int, nbytes: int) -> float:
+        """Extra service time charged by device-internal machinery.
+
+        Called exactly once per served request, after the positioning
+        and transfer components are computed; unlike those it *may*
+        mutate internal state (an FTL programs pages here, garbage
+        collection stalls land here).  Deliberately excluded from
+        :meth:`estimate_service_time`, which must stay side-effect-free
+        and models only what the host can predict (Eq. 1).
+        """
+        return 0.0
+
     def _after_serve(self) -> None:
         """Hook run after each served request (clears transient state)."""
 
@@ -110,17 +122,18 @@ class Device(abc.ABC):
             self.notice_idle(idle_gap)
         pos = self.positioning_time(op, lbn, nbytes)
         xfer = self.transfer_time(op, nbytes)
+        extra = self.service_extra(op, lbn, nbytes)
         self._head = lbn + nbytes
         self._after_serve()
         self.stats.positioning_time += pos
-        self.stats.busy_time += pos + xfer
+        self.stats.busy_time += pos + xfer + extra
         if op.is_write:
             self.stats.writes += 1
             self.stats.bytes_written += nbytes
         else:
             self.stats.reads += 1
             self.stats.bytes_read += nbytes
-        return pos + xfer
+        return pos + xfer + extra
 
     def reset_stats(self) -> None:
         """Zero the counters (head position is preserved)."""

@@ -1,0 +1,261 @@
+"""Page-mapped flash translation layer and fleet GC coordination.
+
+The plain :class:`~repro.devices.ssd.SolidStateDrive` is a bandwidth
+table; this module models what happens *inside* the drive when the
+host sustains writes: a page-mapped FTL with over-provisioning, erase
+blocks, and a garbage collector that must copy live pages before it
+can erase — the mechanism behind write amplification and GC stalls.
+
+The FTL is a pure state machine (no timing, no randomness): the SSD
+charges time for the work it reports, and the audit layer calls
+:meth:`FlashTranslationLayer.verify` to check its ledgers.  The ledger
+identity the auditor relies on::
+
+    device_pages_written == host_pages_written + gc_pages_copied
+
+i.e. every physical page program is either a host write or a GC copy,
+so write amplification = device / host ≥ 1 balances by construction
+and any drift is a model bug.
+
+:class:`GCCoordinator` implements the fleet-level scheduling policies
+from the "Optimize Unsynchronized GC in an SSD Array" line of work:
+unsynchronized per-drive GC magnifies stripe stragglers because a
+stripe is as slow as its slowest member and *some* member is almost
+always collecting; synchronizing (stop-the-fleet) or staggering
+(round-robin slots) the collection windows trades a little average
+latency for a much shorter tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..errors import StorageError
+
+
+class _Block:
+    """One erase block: programmed slots hold logical page numbers
+    (``None`` once invalidated)."""
+
+    __slots__ = ("index", "pages")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.pages: List[Optional[int]] = []
+
+    @property
+    def filled(self) -> int:
+        return len(self.pages)
+
+    @property
+    def valid(self) -> int:
+        return sum(1 for p in self.pages if p is not None)
+
+
+class FlashTranslationLayer:
+    """Page-mapped FTL over ``logical_capacity`` bytes of host space."""
+
+    def __init__(self, logical_capacity: int, page_size: int,
+                 pages_per_block: int, over_provision: float) -> None:
+        if logical_capacity <= 0 or page_size <= 0 or pages_per_block < 2:
+            raise StorageError("invalid FTL geometry")
+        if over_provision <= 0:
+            raise StorageError("FTL needs over-provisioned spare blocks")
+        self._logical_capacity = logical_capacity
+        self._over_provision = over_provision
+        self.page_size = page_size
+        self.pages_per_block = pages_per_block
+        self.logical_pages = -(-logical_capacity // page_size)
+        phys_pages = int(self.logical_pages * (1.0 + over_provision))
+        self.total_blocks = -(-phys_pages // pages_per_block)
+        if self.total_blocks < self.logical_pages / pages_per_block + 2:
+            raise StorageError(
+                "FTL over-provisioning too small to leave spare blocks")
+        #: logical page -> (erase block, slot index)
+        self.page_map: Dict[int, tuple] = {}
+        self._free_ids = deque(range(self.total_blocks))
+        self._sealed: Dict[int, _Block] = {}
+        self._active = _Block(self._free_ids.popleft())
+        # ---- write-amplification ledger -----------------------------
+        self.host_pages_written = 0
+        self.gc_pages_copied = 0
+        self.device_pages_written = 0
+        self.pages_trimmed = 0
+        self.erases = 0
+        self.gc_runs = 0
+
+    # --------------------------------------------------------------- state
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free_ids)
+
+    def free_fraction(self) -> float:
+        return len(self._free_ids) / self.total_blocks
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_pages_written == 0:
+            return 1.0
+        return self.device_pages_written / self.host_pages_written
+
+    # --------------------------------------------------------------- I/O
+    def _invalidate_page(self, lpn: int) -> None:
+        loc = self.page_map.pop(lpn, None)
+        if loc is None:
+            return
+        block, slot = loc
+        block.pages[slot] = None
+
+    def _program(self, lpn: int) -> None:
+        if self._active.filled >= self.pages_per_block:
+            self._sealed[self._active.index] = self._active
+            if not self._free_ids:
+                raise StorageError(
+                    "FTL out of free blocks (GC must run before writes)")
+            self._active = _Block(self._free_ids.popleft())
+        self._active.pages.append(lpn)
+        self.page_map[lpn] = (self._active, self._active.filled - 1)
+        self.device_pages_written += 1
+
+    def host_write(self, lbn: int, nbytes: int) -> int:
+        """Program the pages covering ``[lbn, lbn+nbytes)``; returns the
+        page count (sub-page writes still program a whole page)."""
+        if nbytes <= 0:
+            raise StorageError("FTL write size must be positive")
+        first = lbn // self.page_size
+        last = (lbn + nbytes - 1) // self.page_size
+        for lpn in range(first, last + 1):
+            self._invalidate_page(lpn)
+            self._program(lpn)
+        pages = last - first + 1
+        self.host_pages_written += pages
+        return pages
+
+    def trim(self, lbn: int, nbytes: int) -> int:
+        """Invalidate pages *fully* covered by ``[lbn, lbn+nbytes)``.
+
+        Boundary pages shared with a neighbouring live extent stay
+        mapped until overwritten, exactly like a real discard.
+        """
+        if nbytes <= 0:
+            return 0
+        first = -(-lbn // self.page_size)              # round up
+        last = (lbn + nbytes) // self.page_size        # exclusive
+        trimmed = 0
+        for lpn in range(first, last):
+            if lpn in self.page_map:
+                self._invalidate_page(lpn)
+                trimmed += 1
+        self.pages_trimmed += trimmed
+        return trimmed
+
+    # --------------------------------------------------------------- GC
+    def collect_one(self) -> Optional[int]:
+        """Collect the sealed block with the fewest valid pages.
+
+        Copies its live pages forward, erases it, and returns the number
+        of pages copied; ``None`` when there is nothing to collect.
+        """
+        if not self._sealed:
+            return None
+        victim = min(self._sealed.values(),
+                     key=lambda b: (b.valid, b.index))
+        if victim.valid >= self.pages_per_block:
+            return None  # fully-live fleet: collecting reclaims nothing
+        del self._sealed[victim.index]
+        copied = 0
+        for lpn in victim.pages:
+            if lpn is not None:
+                # _program sees the stale mapping removed first so the
+                # copy is the single live location.
+                del self.page_map[lpn]
+                self._program(lpn)
+                copied += 1
+        victim.pages = []
+        self._free_ids.append(victim.index)
+        self.gc_pages_copied += copied
+        self.erases += 1
+        self.gc_runs += 1
+        return copied
+
+    def reset(self) -> None:
+        """Factory-fresh state (drive replacement); ledgers restart."""
+        self.__init__(self._logical_capacity, self.page_size,
+                      self.pages_per_block, self._over_provision)
+
+    # --------------------------------------------------------------- audit
+    def verify(self) -> None:
+        """Raise :class:`StorageError` on any ledger/mapping drift."""
+        if self.device_pages_written != (self.host_pages_written
+                                         + self.gc_pages_copied):
+            raise StorageError(
+                f"FTL WA ledger drift: device={self.device_pages_written} "
+                f"!= host={self.host_pages_written} "
+                f"+ gc={self.gc_pages_copied}")
+        blocks = list(self._sealed.values()) + [self._active]
+        valid_total = 0
+        for b in blocks:
+            if not 0 <= b.valid <= b.filled <= self.pages_per_block:
+                raise StorageError(f"FTL block {b.index} slot drift")
+            valid_total += b.valid
+        if valid_total != len(self.page_map):
+            raise StorageError(
+                f"FTL mapping drift: {valid_total} valid slots vs "
+                f"{len(self.page_map)} mapped pages")
+        for lpn, (block, slot) in self.page_map.items():
+            if block.pages[slot] != lpn:
+                raise StorageError(f"FTL map entry for page {lpn} is stale")
+        if len(self._free_ids) + len(blocks) != self.total_blocks:
+            raise StorageError("FTL block census drift")
+
+
+class GCCoordinator:
+    """Fleet-level GC scheduling across the per-server SSD array.
+
+    Policies:
+
+    - ``"sync"`` — stop-the-fleet: the moment any registered drive is
+      under GC pressure, *every* drive is cleared to collect, so the
+      collection windows align in time and a stripe pays one shared
+      stall instead of eight scattered ones.
+    - ``"stagger"`` — round-robin time slots of ``slot`` seconds; a
+      drive collects (proactively) only during its own slot, so at most
+      one drive per stripe is collecting at any instant and the rest of
+      the array serves at full speed.
+
+    Drives still hold an emergency trickle path (collect one block when
+    nearly out of space) that bypasses the coordinator — a policy may
+    shape the tail, never wedge a drive.
+    """
+
+    def __init__(self, env, policy: str, slot: float) -> None:
+        if policy not in ("sync", "stagger"):
+            raise StorageError(f"unknown GC coordination policy {policy!r}")
+        self.env = env
+        self.policy = policy
+        self.slot = slot
+        self._drives: List[object] = []
+        self._index: Dict[int, int] = {}
+        self._pressured: set = set()
+
+    def register(self, ssd) -> None:
+        self._index[id(ssd)] = len(self._drives)
+        self._drives.append(ssd)
+        ssd.set_gc_coordinator(self)
+
+    def should_collect(self, ssd, pressured: bool) -> bool:
+        """Is ``ssd`` cleared to run a collection burst right now?"""
+        key = id(ssd)
+        if pressured:
+            self._pressured.add(key)
+        else:
+            self._pressured.discard(key)
+        if self.policy == "sync":
+            return bool(self._pressured)
+        # Stagger: the in-slot drive collects whether pressured or not
+        # (working ahead inside its window is the point); everyone else
+        # waits for their turn.
+        n = len(self._drives) or 1
+        turn = int(self.env.now / self.slot) % n
+        return turn == self._index.get(key, -1)

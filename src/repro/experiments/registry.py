@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from . import (ablation, collective, degraded, faults, fig2, fig3, fig4, fig5,
-               fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, table1,
+               fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, gc, table1,
                table2, table3)
 from .common import ExperimentResult
 
@@ -32,6 +32,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "collective": collective.run,
     "degraded": degraded.run,
     "faults": faults.run,
+    "gc": gc.run,
 }
 
 

@@ -12,7 +12,7 @@ replays bit-identically.
 from .device import FaultableDevice, faultable
 from .injector import FaultInjector
 from .plan import (ALL_KINDS, FaultEvent, FaultKind, FaultPlan, FaultRecord,
-                   fail_slow, server_outage, ssd_outage)
+                   fail_slow, gc_storm, server_outage, ssd_outage)
 
 __all__ = [
     "ALL_KINDS",
@@ -24,6 +24,7 @@ __all__ = [
     "FaultableDevice",
     "fail_slow",
     "faultable",
+    "gc_storm",
     "server_outage",
     "ssd_outage",
 ]

@@ -96,17 +96,21 @@ class FaultableDevice:
             inner.notice_idle(idle_gap)
         pos = self.positioning_time(op, lbn, nbytes)
         xfer = self.transfer_time(op, nbytes)
+        # Internal machinery (FTL programming, GC stalls) is charged
+        # unscaled: latency/bandwidth faults degrade the *interface*,
+        # not the drive's own background work.
+        extra = inner.service_extra(op, lbn, nbytes)
         inner._head = lbn + nbytes
         inner._after_serve()
         inner.stats.positioning_time += pos
-        inner.stats.busy_time += pos + xfer
+        inner.stats.busy_time += pos + xfer + extra
         if op.is_write:
             inner.stats.writes += 1
             inner.stats.bytes_written += nbytes
         else:
             inner.stats.reads += 1
             inner.stats.bytes_read += nbytes
-        return pos + xfer
+        return pos + xfer + extra
 
 
 def faultable(device: Device) -> FaultableDevice:

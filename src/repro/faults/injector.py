@@ -155,6 +155,8 @@ class FaultInjector:
             return self._begin_net(idx, ev)
         if kind is FaultKind.SERVER_CRASH:
             return self._begin_crash(ev)
+        if kind is FaultKind.GC_STORM:
+            return self._begin_gc_storm(ev)
         raise AssertionError(f"unhandled fault kind {kind!r}")  # pragma: no cover
         yield  # pragma: no cover - makes _begin a generator
 
@@ -240,6 +242,27 @@ class FaultInjector:
 
         def cleanup():
             self.cluster.network.remove_fault(fault)
+            return
+            yield  # pragma: no cover
+
+        return cleanup
+
+    def _begin_gc_storm(self, ev: FaultEvent):
+        # ``server=None`` is the correlated multi-device form: every
+        # drive in the fleet storms at once.  Storm state nests (a depth
+        # counter on the drive), so overlapping windows compose.
+        if ev.server is None:
+            servers = list(self.cluster.servers)
+        else:
+            servers = [self.cluster.servers[ev.server]]
+        drives = [s.ssd for s in servers]
+        for drive in drives:
+            drive.gc_storm_begin()
+        self._record("begin", ev, drives=len(drives))
+
+        def cleanup():
+            for drive in drives:
+                drive.gc_storm_end()
             return
             yield  # pragma: no cover
 

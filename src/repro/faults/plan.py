@@ -33,6 +33,14 @@ Event taxonomy (see docs/FAULTS.md for recovery semantics):
 ``server_crash``          Data-server crash: replies in flight are lost and
                           new requests are ignored until the restart at the
                           window end.  Client timeout/retry recovers.
+``gc_storm``              SSD garbage-collection storm on one server's drive
+                          — or, with ``server=None``, a *correlated* storm on
+                          every drive in the fleet at once (firmware-epoch /
+                          synchronized-wearout behaviour).  Every command on
+                          an affected drive stalls one ``gc_slice`` and reads
+                          pay the GC jitter term; works with or without the
+                          FTL model enabled.  Storm windows nest and compose
+                          with other fault kinds.
 ========================  ====================================================
 """
 
@@ -56,6 +64,7 @@ class FaultKind(str, Enum):
     NET_DELAY = "net_delay"
     NET_DROP = "net_drop"
     SERVER_CRASH = "server_crash"
+    GC_STORM = "gc_storm"
 
 
 #: Events with ``duration=None`` never revert (whole-run faults).
@@ -116,6 +125,10 @@ class FaultEvent:
         if self.kind is FaultKind.SSD_FAIL and self.policy not in ("forfeit",
                                                                    "drain"):
             raise FaultError(f"unknown ssd_fail policy {self.policy!r}")
+        if self.kind is FaultKind.GC_STORM and self.duration is None:
+            raise FaultError(
+                "gc_storm needs a finite duration: an unending storm makes "
+                "every drain estimate meaningless")
         if self.disk < 0:
             raise FaultError("disk index must be non-negative")
 
@@ -340,6 +353,14 @@ def ssd_outage(server: int, start: float, duration: float,
     """Convenience: an SSD fail-stop window with recovery at the end."""
     return FaultEvent(kind=FaultKind.SSD_FAIL, server=server, start=start,
                       duration=duration, policy=policy)
+
+
+def gc_storm(start: float, duration: float,
+             server: Optional[int] = None) -> FaultEvent:
+    """Convenience: a GC storm on one drive, or — ``server=None`` — a
+    correlated storm across every drive in the fleet at once."""
+    return FaultEvent(kind=FaultKind.GC_STORM, server=server, start=start,
+                      duration=duration)
 
 
 def server_outage(server: int, start: float, duration: float) -> FaultEvent:

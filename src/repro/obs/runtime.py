@@ -89,6 +89,24 @@ class ObsRuntime:
         if self.registry is not None:
             self.registry.gauge("queue_depth", (lambda q=queue: q.pending),
                                 server=server_id, dev=dev)
+            device = queue.device
+            if getattr(device, "ftl", None) is not None:
+                self.registry.gauge(
+                    "ssd_gc_active",
+                    (lambda d=device: 1 if d.gc_active else 0),
+                    server=server_id, dev=dev)
+                self.registry.gauge(
+                    "ssd_write_amplification",
+                    (lambda d=device: d.ftl.write_amplification),
+                    server=server_id, dev=dev)
+                self.registry.gauge(
+                    "ssd_gc_free_fraction",
+                    (lambda d=device: d.ftl.free_fraction()),
+                    server=server_id, dev=dev)
+                self.registry.gauge(
+                    "ssd_gc_stall_seconds",
+                    (lambda d=device: d.gc_stall_time),
+                    server=server_id, dev=dev)
 
     def _wire_manager(self, manager, server_id: int, disk: int) -> None:
         manager.obs = self.tracer

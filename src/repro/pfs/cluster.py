@@ -89,6 +89,18 @@ class Cluster:
                            t_table=GlobalTTable(), trace_disk=trace_disk,
                            audit=self.audit))
         self.mds.bind_servers(self.servers)
+        # Fleet GC coordination across the per-server SSD array: the
+        # "sync"/"stagger" policies need a view of every drive, so the
+        # coordinator lives here rather than in any one server.
+        self.gc_coordinator = None
+        if (self.config.ssd.ftl_enabled
+                and self.config.ssd.gc_policy != "unsync"):
+            from ..devices.ftl import GCCoordinator
+            self.gc_coordinator = GCCoordinator(
+                self.env, self.config.ssd.gc_policy,
+                self.config.ssd.gc_stagger_slot)
+            for server in self.servers:
+                self.gc_coordinator.register(server.ssd)
         self._clients: Dict[int, PFSClient] = {}
         self.requests: List[ParentRequest] = []
         # Observability: one tracer + metrics registry for the whole

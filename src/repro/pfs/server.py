@@ -71,7 +71,8 @@ class DataServer:
         #: by the cluster's ObsRuntime, None on untraced runs.
         self.obs = None
 
-        self.ssd = SolidStateDrive(config.ssd)
+        self.ssd = SolidStateDrive(config.ssd, seed=config.seed,
+                                   name=f"{self.name}-ssd")
         self.ssd_queue = BlockQueue(env, self.ssd,
                                     make_scheduler(config.ssd_scheduler),
                                     name=f"{self.name}-ssd")

@@ -157,5 +157,5 @@ def _reset_measurement_state(cluster: Cluster) -> None:
             if unit.ibridge is not None:
                 unit.ibridge.stats = IBridgeStats()
         server.ssd.reset_stats()
-        server.ssd._head = 0
+        server.ssd.reset_streams()
         server.ssd_queue.scheduler = make_scheduler(cluster.config.ssd_scheduler)

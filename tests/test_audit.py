@@ -108,6 +108,25 @@ def test_final_check_rejects_undrained_manager():
         auditor.final_check()
 
 
+def test_ftl_ledger_drift_detected():
+    """The auditor folds the FTL's write-amplification ledger into its
+    coherence sweep: a counter that drifts from the page-program
+    identity is a model bug, not a timing artifact."""
+    env = Environment()
+    cfg = ClusterConfig(num_servers=2, client_jitter=0.0,
+                        audit=AuditConfig(enabled=True, strict=True))
+    cfg = cfg.with_ibridge(ssd_partition=4 * MiB).with_ftl(capacity=16 * MiB)
+    profile = profile_device(HardDisk(cfg.hdd))
+    server = DataServer(env, 0, cfg, profile)
+    serve(env, server, sub(size=2 * KiB, fragment=True, siblings=(1,)))
+    mgr = server.ibridge
+    assert server.ssd.ftl.host_pages_written > 0
+    mgr.audit.check("test")                 # healthy ledger passes
+    server.ssd.ftl.gc_pages_copied += 1     # break the identity
+    with pytest.raises(AuditError, match="ftl-ledger"):
+        mgr.audit.check("test")
+
+
 def test_non_strict_mode_accumulates_violations():
     env, server, mgr, auditor = cached_server(strict=False)
     mgr.partition._bytes[CacheKind.FRAGMENT] += 1

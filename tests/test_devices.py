@@ -148,6 +148,28 @@ def test_ssd_random_write_slower_than_random_read():
     assert tw > tr
 
 
+def test_ssd_streams_tracked_per_op_class():
+    """Regression: pure log appends pay zero setup after the first even
+    when partition reads land between them.  A single shared head
+    charged ``write_setup`` on every append and erased exactly the
+    sequential advantage the log exists to exploit."""
+    ssd = SolidStateDrive()
+    log = 1 * GiB                                     # log region base
+    first = ssd.serve(Op.WRITE, log, 64 * KiB)        # first append seeks
+    appends = []
+    for i in range(1, 6):
+        ssd.serve(Op.READ, 50 * GiB + i * MiB, 4 * KiB)  # interleaved read
+        appends.append(ssd.serve(Op.WRITE, log + i * 64 * KiB, 64 * KiB))
+    pure_xfer = 64 * KiB / ssd.config.seq_write_bw
+    assert all(t == pytest.approx(pure_xfer) for t in appends)
+    assert first > appends[0]
+    # And symmetrically: a streaming read is not broken by log appends.
+    ssd.serve(Op.READ, 10 * GiB, 64 * KiB)
+    ssd.serve(Op.WRITE, 6 * 64 * KiB, 64 * KiB)
+    t = ssd.serve(Op.READ, 10 * GiB + 64 * KiB, 64 * KiB)
+    assert t == pytest.approx(64 * KiB / ssd.config.seq_read_bw)
+
+
 # ---------------------------------------------------------------- calibration
 def test_derive_ssd_setup_closed_form():
     setup = derive_ssd_setup(160 * MiB, 60 * MiB, 4 * KiB)

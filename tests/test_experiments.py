@@ -177,3 +177,20 @@ def test_ablation_policies_and_merging():
     # Every iBridge variant beats stock on warm unaligned reads.
     assert (res.get("iBridge (default)", "throughput")
             > res.get("stock", "throughput"))
+
+
+def test_gc_extension_ledger_and_determinism():
+    """The GC study engages the FTL at small scale (erases happen, the
+    WA ledger balances under the strict auditor) and a repeated cell is
+    bit-identical — the fixed-seed replay contract."""
+    res = get("gc")(scale=SMALL, nprocs=8)
+    assert [r[0] for r in res.rows] == ["ftl off", "unsync", "sync",
+                                       "stagger"]
+    assert res.get("ftl off", "wa") == 1.0
+    assert res.get("ftl off", "gc_stall") == 0.0
+    for policy in ("unsync", "sync", "stagger"):
+        assert res.get(policy, "erases") > 0
+        assert res.get(policy, "wa") >= 1.0
+        assert res.get(policy, "throughput") > 0
+    from repro.experiments.gc import _cell
+    assert _cell(SMALL, 8, "unsync") == _cell(SMALL, 8, "unsync")

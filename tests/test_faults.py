@@ -15,7 +15,8 @@ from repro.devices import HardDisk, Op
 from repro.errors import (DeviceFailedError, FaultError, ReproError,
                           RequestTimeoutError)
 from repro.faults import (FaultEvent, FaultKind, FaultPlan, FaultableDevice,
-                          fail_slow, faultable, server_outage, ssd_outage)
+                          fail_slow, faultable, gc_storm, server_outage,
+                          ssd_outage)
 from repro.net import Network, NetFault
 from repro.pfs import Cluster
 from repro.sim import Environment
@@ -252,6 +253,38 @@ def test_fail_slow_window_slows_the_run():
     plan = FaultPlan.single(fail_slow(1, 4.0, bw_mult=3.0), name="aging")
     degraded = run_workload(Cluster(cfg, fault_plan=plan), write_workload())
     assert degraded.makespan > 1.2 * healthy.makespan
+
+
+def test_gc_storm_fleet_window_slows_ssds_and_reverts():
+    cfg = ibridge_config()
+    healthy = run_workload(Cluster(cfg), write_workload())
+    plan = FaultPlan.single(gc_storm(start=0.0, duration=30.0),
+                            name="correlated-storm")
+    cluster = Cluster(cfg, fault_plan=plan)
+    stormy = run_workload(cluster, write_workload())
+    # Every drive stalled (the window is fleet-wide) and the makespan
+    # carries the per-command gc_slice charges.
+    assert all(s.ssd.gc_stall_time > 0.0 for s in cluster.servers)
+    assert stormy.makespan > healthy.makespan
+    begin = [r for r in cluster.faults.records if r.phase == "begin"]
+    assert begin and begin[0].detail.get("drives") == len(cluster.servers)
+
+
+def test_gc_storm_single_server_scopes_and_restores():
+    cfg = ibridge_config()
+    plan = FaultPlan.single(gc_storm(start=0.0, duration=0.05, server=1),
+                            name="one-drive-storm")
+    cluster = Cluster(cfg, fault_plan=plan)
+    run_workload(cluster, write_workload())
+    assert all(s.ssd._storm_depth == 0 for s in cluster.servers)
+    assert cluster.servers[1].ssd.gc_stall_time > 0.0
+    others = [s.ssd.gc_stall_time for s in cluster.servers if s.id != 1]
+    assert all(t == 0.0 for t in others)
+
+
+def test_gc_storm_requires_finite_window():
+    with pytest.raises(FaultError):
+        FaultPlan.single(FaultEvent(kind=FaultKind.GC_STORM)).validate()
 
 
 def test_replay_is_deterministic():

@@ -164,6 +164,49 @@ def test_straggler_fragment_named_for_unaligned_requests():
     assert "magnification" in text and "smallest piece" in text
 
 
+def test_gc_stall_emits_spans_critical_path_attributes_them():
+    """A GC stall on the SSD shows up as an ``ssd.gc`` span under the
+    stalled member, and the critical-path walk books its share of the
+    request to the ``gc`` kind."""
+    from repro.faults import FaultPlan, gc_storm
+    cfg = ClusterConfig(num_servers=4, client_jitter=0.0).with_ibridge(
+        ssd_partition=4 * 1024 * KiB).with_obs()
+    plan = FaultPlan.single(gc_storm(start=0.0, duration=60.0),
+                            name="storm-while-traced")
+    cluster = Cluster(cfg, fault_plan=plan)
+    spans = _run_unaligned(cluster, n=32)
+    assert validate_spans(spans) == []
+    gc_spans = [s for s in spans if s.name == "ssd.gc"]
+    assert gc_spans, "no GC stall was traced"
+    for s in gc_spans:
+        assert s.kind == "gc"
+        assert s.attrs["stall"] > 0.0
+        assert s.duration == pytest.approx(s.attrs["stall"], abs=EPS)
+    reports = [analyze_trace(t) for t in build_trees(spans).values()]
+    booked = sum(r.breakdown.get("gc", 0.0) for r in reports)
+    assert booked > 0.0
+
+
+def test_ftl_gauges_registered_and_sampled():
+    cfg = ClusterConfig(num_servers=2, client_jitter=0.0).with_ibridge(
+        ssd_partition=2 * 1024 * KiB).with_ftl(
+        capacity=8 * 1024 * KiB).with_obs(sample_period=0.01)
+    cluster = Cluster(cfg)
+    client = cluster.client(0)
+    done = [client.write(cluster.create_file(64 * 65 * KiB), i * 65 * KiB,
+                         65 * KiB, rank=i % 4) for i in range(32)]
+    cluster.env.run(until=cluster.env.all_of(done))
+    cluster.drain()
+    cluster.shutdown()
+    names = {row["name"] for row in cluster.obs.registry.samples}
+    for gauge in ("ssd_gc_active", "ssd_write_amplification",
+                  "ssd_gc_free_fraction", "ssd_gc_stall_seconds"):
+        assert gauge in names, f"{gauge} never sampled"
+    wa = [row["value"] for row in cluster.obs.registry.samples
+          if row["name"] == "ssd_write_amplification"]
+    assert all(v >= 1.0 for v in wa)
+
+
 def test_obs_disabled_components_stay_unwired():
     cluster = Cluster(ClusterConfig(num_servers=2, client_jitter=0.0))
     assert cluster.obs is None
