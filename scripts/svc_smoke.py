@@ -1,0 +1,119 @@
+"""CI smoke for the experiment service (`repro.svc`).
+
+Real processes, real sockets, tiny work: start the server, start two
+workers, push one fig2 cell through the queue, resubmit it (must dedup
+to the stored result with zero extra simulation), scrape /metrics, and
+shut everything down cleanly.  Exits nonzero on the first broken
+expectation.
+
+    PYTHONPATH=src python scripts/svc_smoke.py [--scale 0.002]
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.obs.metrics import parse_prometheus_text  # noqa: E402
+from repro.svc import ServiceClient  # noqa: E402
+
+FIG2_CELL = "repro.experiments.fig2:_cell_throughput"
+
+
+def wait_for(predicate, timeout, what):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    raise SystemExit(f"timed out waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="svc-smoke-")
+    db = os.path.join(tmp, "svc.db")
+    cache = os.path.join(tmp, "cache")
+    port_file = os.path.join(tmp, "port")
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    procs = []
+
+    def spawn(*argv):
+        proc = subprocess.Popen([sys.executable, "-m", "repro.svc",
+                                 *argv], env=env)
+        procs.append(proc)
+        return proc
+
+    try:
+        server = spawn("serve", "--db", db, "--port", "0",
+                       "--port-file", port_file, "--reaper-interval", "1")
+        wait_for(lambda: os.path.exists(port_file), 30.0, "server port")
+        port = open(port_file, encoding="utf-8").read().strip()
+        base = f"http://127.0.0.1:{port}"
+        client = ServiceClient(base)
+        wait_for(lambda: client.healthz()["ok"], 30.0, "healthz")
+        print(f"server up on {base}")
+
+        workers = [spawn("worker", "--server", base, "--cache-dir", cache,
+                         "--poll", "0.1") for _ in range(2)]
+        wait_for(lambda: len(client.workers()) == 2, 30.0,
+                 "both workers to register")
+        print("2 workers registered")
+
+        job = client.submit_cell(FIG2_CELL, scale=args.scale, nprocs=4,
+                                 size=65536)
+        assert not job.get("dedup"), "fresh submission misreported dedup"
+        final = client.wait([job["id"]], timeout=args.timeout)[0]
+        assert final["state"] == "done", f"job failed: {final.get('error')}"
+        assert not final["cached"], "first run should simulate, not hit"
+        value = client.result(final["key"])
+        print(f"fig2 cell simulated: {value:.1f} MiB/s "
+              f"(worker {final['worker']})")
+
+        again = client.submit_cell(FIG2_CELL, scale=args.scale, nprocs=4,
+                                   size=65536)
+        assert again["dedup"], "resubmission did not dedup"
+        assert again["state"] == "done", "dedup job not born done"
+        assert again["cached"], "dedup job not marked cached"
+        assert client.result(again["key"]) == value
+        print("resubmission deduped to the stored result")
+
+        types, samples = parse_prometheus_text(client.metrics_text())
+        for family in ("svc_jobs", "svc_results", "svc_workers_alive",
+                       "svc_submissions_total", "svc_dedup_hits_total",
+                       "svc_claim_latency_seconds"):
+            assert family in types, f"/metrics missing {family}"
+        assert samples[("svc_jobs", (("state", "done"),))] == 2
+        assert samples[("svc_dedup_hits_total", ())] == 1
+        assert samples[("svc_workers_alive", ())] == 2
+        print("/metrics scrape OK "
+              f"({len(samples)} samples, {len(types)} families)")
+
+        for proc in workers:
+            proc.send_signal(signal.SIGTERM)
+        for proc in workers:
+            assert proc.wait(timeout=60) == 0, "worker exited nonzero"
+        server.send_signal(signal.SIGTERM)
+        assert server.wait(timeout=60) == 0, "server exited nonzero"
+        print("clean shutdown: 2 workers + server exited 0")
+        print("SVC SMOKE PASS")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

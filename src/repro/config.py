@@ -373,6 +373,11 @@ class ObsConfig:
     trace_path: Optional[str] = None
     #: Append metrics JSONL here at end of run (None = in-memory only).
     metrics_path: Optional[str] = None
+    #: Write the final Prometheus-text metrics snapshot here at end of
+    #: run (None = off).  Overwritten per cluster — exposition text has
+    #: one series per line, so unlike JSONL it cannot append; the file
+    #: always holds the latest cluster's final state, scrape-style.
+    metrics_text_path: Optional[str] = None
     #: Stream spans to ``trace_path`` incrementally: after this many
     #: span closures the pending batch is appended and fsync-flushed, so
     #: traces from aborted / OOM-killed / budget-killed runs survive up

@@ -50,8 +50,20 @@ from .. import __version__
 #: engine semantics change in a result-affecting way).
 CACHE_SCHEMA = 2
 
-#: Default cache location (relative to the working directory).
-DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".ibridge-cache")
+#: Default cache location (relative to the working directory) when
+#: ``REPRO_CACHE_DIR`` is unset.  Resolved lazily by
+#: :func:`default_cache_dir` so a worker (or test) that sets the env
+#: var after this module is imported still takes effect — the service
+#: fleet relies on this to point every worker at one shared cache.
+DEFAULT_CACHE_DIR = ".ibridge-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache directory to use when none is configured explicitly.
+
+    Read from ``REPRO_CACHE_DIR`` at *call* time (not import time).
+    """
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
 
 
 # --------------------------------------------------------------- hashing
@@ -166,12 +178,71 @@ def _execute(spec: Tuple[str, Tuple[Tuple[str, Any], ...]]) -> Any:
     return Cell(fn=fn, kwargs=kwargs).resolve()(**dict(kwargs))
 
 
-# --------------------------------------------------------------- cache
-class ResultCache:
-    """Pickle-per-key on-disk cache with atomic writes."""
+# ------------------------------------------------------ public key API
+def default_context_token() -> Any:
+    """Cache-key token for this process's audit/fault/obs defaults.
 
-    def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
-        self.directory = directory
+    This is exactly what :func:`run_cells` folds into every cell key;
+    exposing it lets other layers (the experiment service) compute keys
+    that agree with the CLI's cache.  A process with no defaults
+    installed (no ``--audit``/``--fault-plan``/``--trace-out``) yields
+    the *null* context token — service submissions use that, so a
+    service-warmed cache hits for plain CLI runs and vice versa.
+    """
+    return _context_token(_current_context())
+
+
+def null_context_token() -> Any:
+    """Context token for a process with *no* defaults installed.
+
+    Service submissions hash against this fixed token regardless of
+    the submitting process's state, so the service cache stays
+    interoperable with plain (flag-less) CLI runs.
+    """
+    return _context_token((None, None, None))
+
+
+def cell_key(c: Cell, context_token: Any = None) -> str:
+    """Public stable cache key for a cell.
+
+    ``context_token=None`` uses :func:`default_context_token` (the
+    current process defaults); pass a stored token to reproduce a key
+    from another process.
+    """
+    if context_token is None:
+        context_token = default_context_token()
+    return c.key(context_token)
+
+
+# --------------------------------------------------------------- cache
+# ------------------------------------------------- result serialization
+def encode_result(value: Any) -> bytes:
+    """Serialize one cell result to bytes (the cache/store wire format).
+
+    Pickle at the highest protocol — cell results are plain picklable
+    data by the determinism contract, and pickle (unlike JSON) keeps
+    int dict keys, tuples, and float precision exact.  Deterministic
+    for the same value, so equal results encode to equal bytes and the
+    service can assert bit-identity across transports.
+    """
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_result(blob: bytes) -> Any:
+    """Inverse of :func:`encode_result`."""
+    return pickle.loads(blob)
+
+
+class ResultCache:
+    """Pickle-per-key on-disk cache with atomic writes.
+
+    ``directory=None`` resolves :func:`default_cache_dir` at call time,
+    so ``REPRO_CACHE_DIR`` set after import still takes effect.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory if directory is not None \
+            else default_cache_dir()
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key[:2], key + ".pkl")
@@ -179,12 +250,19 @@ class ResultCache:
     def get(self, key: str) -> Tuple[bool, Any]:
         try:
             with open(self._path(key), "rb") as fh:
-                return True, pickle.load(fh)
+                value = decode_result(fh.read())
         except Exception:
             # Unpickling a truncated/corrupt file can raise nearly
             # anything (ValueError, EOFError, AttributeError...); any
             # unreadable entry is simply a miss and will be rewritten.
             return False, None
+        try:
+            # Touch on hit so `ibridge-experiment cache prune` can evict
+            # least-recently-used entries by mtime.
+            os.utime(self._path(key))
+        except OSError:
+            pass
+        return True, value
 
     def put(self, key: str, value: Any) -> None:
         path = self._path(key)
@@ -194,7 +272,7 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(encode_result(value))
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -230,7 +308,7 @@ def run_cells(cells: Sequence[Cell], jobs: int = 1,
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     context = _current_context()
     ctx_token = _context_token(context)
-    store = ResultCache(cache_dir or DEFAULT_CACHE_DIR) if cache else None
+    store = ResultCache(cache_dir) if cache else None
 
     results: List[Any] = [None] * len(cells)
     misses: List[int] = []

@@ -217,6 +217,10 @@ class ObsRuntime:
             self.registry.stop()
             if self.config.metrics_path:
                 self.registry.export_jsonl(self.config.metrics_path)
+            if self.config.metrics_text_path:
+                with open(self.config.metrics_text_path, "w",
+                          encoding="utf-8") as fh:
+                    fh.write(self.registry.to_prometheus_text())
         if self.tracer is not None and self.config.trace_path:
             if self._streaming:
                 # Everything closed already streamed; drain the tail.

@@ -1,0 +1,54 @@
+"""repro.svc: the long-running experiment service.
+
+This package promotes the one-shot experiment CLI into a service: a
+persistent SQLite job queue + result store (:mod:`~repro.svc.store`),
+an HTTP server with a Prometheus ``/metrics`` endpoint
+(:mod:`~repro.svc.server`), a crash-safe worker fleet
+(:mod:`~repro.svc.worker`), periodic scheduled tasks with restart
+catch-up (:mod:`~repro.svc.scheduler`), and a client + CLI
+(:mod:`~repro.svc.client`, ``python -m repro.svc``).
+
+The unit of work is the existing experiment-matrix **cell** (import
+path + JSON kwargs) and the unit of identity is its **stable hash** —
+the same key the on-disk result cache uses — so duplicate submissions
+dedup to one result row, resubmitted matrices complete with zero
+simulation steps, and the service, the CLI, and every worker share one
+``.ibridge-cache``.  Chaos campaigns ride the same queue through
+:func:`repro.chaos.run_campaign_job`, with the nightly campaign as the
+flagship scheduled task.
+
+Architecture modelled on QCFractal (server + task queue + managers +
+periodics) and IceProd (scheduled tasks, materialization); see
+docs/SERVICE.md for the runbook.
+"""
+
+from .client import HttpQueue, ServiceClient, ServiceError
+from .scheduler import PeriodicTask, Scheduler, nightly_chaos
+from .server import ExperimentService, Reaper, make_server, serve
+from .store import DEFAULT_MAX_ATTEMPTS, STATES, JobStore
+from .submissions import (campaign_submission, cell_submission,
+                          parse_submission)
+from .worker import DirectQueue, Worker, execute_submission, run_worker
+
+__all__ = [
+    "JobStore",
+    "STATES",
+    "DEFAULT_MAX_ATTEMPTS",
+    "ExperimentService",
+    "make_server",
+    "serve",
+    "Reaper",
+    "Worker",
+    "DirectQueue",
+    "HttpQueue",
+    "run_worker",
+    "execute_submission",
+    "Scheduler",
+    "PeriodicTask",
+    "nightly_chaos",
+    "ServiceClient",
+    "ServiceError",
+    "cell_submission",
+    "campaign_submission",
+    "parse_submission",
+]

@@ -1,0 +1,238 @@
+"""``python -m repro.svc`` — serve, work, submit, status, watch.
+
+The operational surface of the experiment service::
+
+    # one server (persistent queue + metrics + nightly chaos)
+    python -m repro.svc serve --db svc.db --port 8760 --nightly-chaos 50
+
+    # a worker fleet (any number, any time; kill -9 is fine)
+    python -m repro.svc worker --server http://127.0.0.1:8760
+    python -m repro.svc worker --db svc.db          # same-host direct mode
+
+    # submit work and watch it land
+    python -m repro.svc submit --server ... cell \\
+        repro.experiments.fig2:_cell_throughput \\
+        --set scale=0.002 --set nprocs=16 --set size=65536
+    python -m repro.svc submit --server ... campaign --seed 0 --episodes 25
+    python -m repro.svc status --server ...
+    python -m repro.svc watch --server ... 1 2 3
+
+See docs/SERVICE.md for the architecture and runbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+
+def _parse_set(pairs: List[str]) -> Dict[str, Any]:
+    """``--set k=v`` pairs; values parse as JSON, falling back to str."""
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--set needs key=value, got {pair!r}")
+        try:
+            out[key] = json.loads(raw)
+        except ValueError:
+            out[key] = raw
+    return out
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.svc",
+        description="Long-running experiment service: persistent job "
+                    "queue, worker fleet, scheduled chaos campaigns.")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP server + scheduler")
+    serve.add_argument("--db", default="svc.db", metavar="PATH",
+                       help="SQLite job store (default svc.db)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8760,
+                       help="TCP port (0 = pick one; see --port-file)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening")
+    serve.add_argument("--reaper-interval", type=float, default=5.0,
+                       help="seconds between expired-lease sweeps")
+    serve.add_argument("--nightly-chaos", type=int, default=None,
+                       metavar="EPISODES",
+                       help="schedule a daily seeded chaos campaign of "
+                            "EPISODES episodes")
+    serve.add_argument("--chaos-interval", type=float, default=86400.0,
+                       help="seconds between chaos campaigns "
+                            "(default nightly)")
+    serve.add_argument("--schedule", default=None, metavar="PATH",
+                       help="JSON schedule file of periodic tasks "
+                            "(see docs/SERVICE.md)")
+    serve.add_argument("--quiet", action="store_true")
+
+    worker = sub.add_parser("worker", help="run one fleet worker")
+    src = worker.add_mutually_exclusive_group(required=True)
+    src.add_argument("--server", metavar="URL",
+                     help="claim over HTTP from a running server")
+    src.add_argument("--db", metavar="PATH",
+                     help="claim directly from the SQLite store "
+                          "(same-host mode)")
+    worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared result cache (default: "
+                             "REPRO_CACHE_DIR or .ibridge-cache)")
+    worker.add_argument("--lease", type=float, default=30.0,
+                        help="claim lease seconds (default 30)")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        help="idle poll seconds (default 0.5)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after N jobs (smoke tests)")
+    worker.add_argument("--id", default=None, help="worker id override")
+    worker.add_argument("--quiet", action="store_true")
+
+    submit = sub.add_parser("submit", help="submit a cell or campaign")
+    submit.add_argument("--server", required=True, metavar="URL")
+    submit.add_argument("--max-attempts", type=int, default=3)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes; print result")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait deadline in seconds")
+    what = submit.add_subparsers(dest="what", required=True)
+    cell_p = what.add_parser("cell", help="one experiment-matrix cell")
+    cell_p.add_argument("fn", help="import path 'pkg.mod:func'")
+    cell_p.add_argument("--set", action="append", default=[],
+                        metavar="K=V",
+                        help="cell kwarg (JSON value); repeatable")
+    cell_p.add_argument("--kwargs", default=None, metavar="JSON",
+                        help="all kwargs as one JSON object")
+    camp_p = what.add_parser("campaign", help="one chaos campaign")
+    camp_p.add_argument("--seed", type=int, required=True)
+    camp_p.add_argument("--episodes", type=int, required=True)
+    camp_p.add_argument("--spec", default=None, metavar="JSON",
+                        help="extra campaign spec fields as JSON")
+
+    status = sub.add_parser("status", help="queue + worker overview")
+    status.add_argument("--server", required=True, metavar="URL")
+    status.add_argument("job_id", nargs="?", type=int, default=None,
+                        help="show one job instead")
+    status.add_argument("--limit", type=int, default=10)
+
+    watch = sub.add_parser("watch", help="follow jobs until they settle")
+    watch.add_argument("--server", required=True, metavar="URL")
+    watch.add_argument("job_ids", nargs="+", type=int)
+    watch.add_argument("--timeout", type=float, default=600.0)
+    return p
+
+
+# ------------------------------------------------------------- commands
+def _cmd_serve(args) -> int:
+    from .scheduler import nightly_chaos, tasks_from_file
+    from .server import serve
+
+    tasks = []
+    if args.nightly_chaos:
+        tasks.append(nightly_chaos(episodes=args.nightly_chaos,
+                                   interval=args.chaos_interval))
+    if args.schedule:
+        tasks.extend(tasks_from_file(args.schedule))
+    return serve(args.db, host=args.host, port=args.port, tasks=tasks,
+                 reaper_interval=args.reaper_interval,
+                 port_file=args.port_file,
+                 log=(None if args.quiet else print))
+
+
+def _cmd_worker(args) -> int:
+    from .worker import DirectQueue, run_worker
+
+    if args.server:
+        from .client import HttpQueue
+        queue = HttpQueue(args.server)
+    else:
+        from .store import JobStore
+        queue = DirectQueue(JobStore(args.db))
+    run_worker(queue, cache_dir=args.cache_dir, worker_id=args.id,
+               lease=args.lease, poll=args.poll, max_jobs=args.max_jobs,
+               log=(None if args.quiet else print), install_signals=True)
+    return 0
+
+
+def _job_line(job: Dict[str, Any]) -> str:
+    extra = ""
+    if job["state"] == "done":
+        extra = " (cache)" if job["cached"] else ""
+    elif job["state"] == "failed":
+        extra = f" error={str(job.get('error'))[:60]!r}"
+    elif job["state"] == "claimed":
+        extra = f" worker={job['worker']} attempt={job['attempts']}"
+    return (f"job {job['id']:5d}  {job['state']:8s} {job['kind']:9s} "
+            f"key={job['key'][:12]}{extra}")
+
+
+def _cmd_submit(args) -> int:
+    from .client import ServiceClient
+
+    client = ServiceClient(args.server)
+    if args.what == "cell":
+        kwargs = json.loads(args.kwargs) if args.kwargs else {}
+        kwargs.update(_parse_set(args.set))
+        job = client.submit_cell(args.fn, max_attempts=args.max_attempts,
+                                 **kwargs)
+    else:
+        spec = json.loads(args.spec) if args.spec else {}
+        spec.update({"seed": args.seed, "episodes": args.episodes})
+        job = client.submit_campaign(spec, max_attempts=args.max_attempts)
+    dedup = " (dedup)" if job.get("dedup") else ""
+    print(_job_line(job) + dedup)
+    if not args.wait:
+        return 0
+    final = client.wait([job["id"]], timeout=args.timeout,
+                        on_change=lambda j: print(_job_line(j)))[0]
+    if final["state"] == "done":
+        print(repr(client.result(final["key"])))
+        return 0
+    return 1
+
+
+def _cmd_status(args) -> int:
+    from .client import ServiceClient
+
+    client = ServiceClient(args.server)
+    if args.job_id is not None:
+        job = client.job(args.job_id)
+        print(json.dumps(job, indent=2))
+        return 0
+    health = client.healthz()
+    counts = health["counts"]
+    print("queue: " + "  ".join(
+        f"{state}={counts.get(state, 0)}"
+        for state in ("queued", "claimed", "done", "failed"))
+        + f"  results={counts.get('results', 0)}")
+    workers = client.workers()
+    alive = sum(1 for w in workers if w["alive"])
+    print(f"workers: {alive}/{len(workers)} alive")
+    for worker in workers:
+        mark = "alive" if worker["alive"] else "gone "
+        print(f"  {mark}  {worker['id']}  jobs_done={worker['jobs_done']}")
+    for job in client.jobs(limit=args.limit):
+        print(_job_line(job))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from .client import ServiceClient
+
+    client = ServiceClient(args.server)
+    final = client.wait(args.job_ids, timeout=args.timeout,
+                        on_change=lambda j: print(_job_line(j)))
+    return 0 if all(j["state"] == "done" for j in final) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return {"serve": _cmd_serve, "worker": _cmd_worker,
+            "submit": _cmd_submit, "status": _cmd_status,
+            "watch": _cmd_watch}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""HTTP client for the experiment service (stdlib ``urllib`` only).
+
+Two layers:
+
+* :class:`ServiceClient` — the user-facing API the ``submit`` /
+  ``status`` / ``watch`` CLI subcommands are built on;
+* :class:`HttpQueue` — the worker-side transport implementing the same
+  claim/heartbeat/complete/fail surface as
+  :class:`repro.svc.worker.DirectQueue`, so a :class:`Worker` can sit
+  on either side of the network without knowing.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..experiments.runner import decode_result
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service (carries the status code)."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"HTTP {code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one service endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ----------------------------------------------------------- plumbing
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 raw: bool = False) -> Any:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                payload = resp.read()
+                if resp.status == 204 or not payload:
+                    return None
+                if raw:
+                    return payload
+                return json.loads(payload.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(exc.code, detail) from None
+
+    def _get(self, path: str, raw: bool = False) -> Any:
+        return self._request("GET", path, raw=raw)
+
+    def _post(self, path: str, body: Dict[str, Any]) -> Any:
+        return self._request("POST", path, body)
+
+    # -------------------------------------------------------------- public
+    def healthz(self) -> Dict[str, Any]:
+        return self._get("/healthz")
+
+    def submit_cell(self, fn: str, max_attempts: int = 3,
+                    **kwargs: Any) -> Dict[str, Any]:
+        return self._post("/jobs", {"kind": "cell", "fn": fn,
+                                    "kwargs": kwargs,
+                                    "max_attempts": max_attempts})
+
+    def submit_cells(self, cells: Iterable[Dict[str, Any]]) \
+            -> List[Dict[str, Any]]:
+        """Submit a matrix: each entry is ``{"fn": ..., "kwargs": {...}}``."""
+        return self._post("/jobs", {"cells": list(cells)})["jobs"]
+
+    def submit_campaign(self, spec: Dict[str, Any],
+                        max_attempts: int = 3) -> Dict[str, Any]:
+        return self._post("/jobs", {"kind": "campaign", "spec": spec,
+                                    "max_attempts": max_attempts})
+
+    def jobs(self, state: Optional[str] = None,
+             limit: int = 100) -> List[Dict[str, Any]]:
+        query = f"?limit={limit}" + (f"&state={state}" if state else "")
+        return self._get("/jobs" + query)["jobs"]
+
+    def job(self, job_id: int) -> Dict[str, Any]:
+        return self._get(f"/jobs/{job_id}")
+
+    def result(self, key: str) -> Any:
+        """Fetch and decode the stored result for a key."""
+        view = self._get(f"/results/{key}")
+        return decode_result(base64.b64decode(view["pickle_b64"]))
+
+    def workers(self) -> List[Dict[str, Any]]:
+        return self._get("/workers")["workers"]
+
+    def metrics_text(self) -> str:
+        return self._get("/metrics", raw=True).decode("utf-8")
+
+    def wait(self, job_ids: Iterable[int], timeout: float = 300.0,
+             poll: float = 0.25,
+             on_change=None) -> List[Dict[str, Any]]:
+        """Poll until every job is done/failed; returns final job dicts.
+
+        ``on_change(job)`` fires on each observed state transition.
+        Raises ``TimeoutError`` if the deadline passes first.
+        """
+        pending = {int(j): None for j in job_ids}
+        deadline = time.monotonic() + timeout
+        final: Dict[int, Dict[str, Any]] = {}
+        while pending:
+            for job_id in list(pending):
+                job = self.job(job_id)
+                if job["state"] != pending[job_id]:
+                    pending[job_id] = job["state"]
+                    if on_change is not None:
+                        on_change(job)
+                if job["state"] in ("done", "failed"):
+                    final[job_id] = job
+                    del pending[job_id]
+            if not pending:
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"jobs still running after {timeout}s: "
+                    f"{sorted(pending)}")
+            time.sleep(poll)
+        return [final[j] for j in sorted(final)]
+
+
+class HttpQueue:
+    """Worker-side queue transport over the server's worker API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self._client = ServiceClient(base_url, timeout=timeout)
+
+    def claim(self, worker: str, lease: float) -> Optional[Dict[str, Any]]:
+        return self._client._post("/claim", {"worker": worker,
+                                             "lease": lease})
+
+    def heartbeat(self, worker: str, job_id: int, lease: float) -> bool:
+        resp = self._client._post("/heartbeat", {"worker": worker,
+                                                 "job_id": job_id,
+                                                 "lease": lease})
+        return bool(resp["ok"])
+
+    def complete(self, worker: str, job_id: int, payload: bytes,
+                 cached: bool) -> str:
+        resp = self._client._post("/complete", {
+            "worker": worker, "job_id": job_id,
+            "result_b64": base64.b64encode(payload).decode("ascii"),
+            "cached": cached})
+        return resp["status"]
+
+    def fail(self, worker: str, job_id: int, error: str) -> str:
+        resp = self._client._post("/fail", {"worker": worker,
+                                            "job_id": job_id,
+                                            "error": error})
+        return resp["status"]

@@ -1,0 +1,151 @@
+"""Periodic service tasks with restart catch-up (IceProd-style).
+
+A :class:`PeriodicTask` fires once per ``interval``-sized *window* of
+wall-clock time (window ``k`` covers ``[k*interval, (k+1)*interval)``):
+a nightly chaos campaign is ``interval=86400``.  The scheduler's state
+is one watermark per task in the store's ``schedules`` table — the last
+window it submitted for — which gives restart semantics for free:
+
+* **catch-up**: if the service was down across one or more whole
+  windows, the next tick submits exactly *one* job for the current
+  window (missed windows are not replayed N times — a nightly campaign
+  that missed three nights should run once now, not thrice);
+* **no double-fire**: restarting within an already-submitted window
+  does nothing, because the watermark persisted.
+
+Each firing salts the job spec with its window number, so consecutive
+windows produce distinct dedup keys while retries *within* a window
+dedup to the same job.  Campaign seeds derive from the window too —
+every night fuzzes fresh territory, deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .store import JobStore
+from .submissions import parse_submission
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """One recurring submission.
+
+    ``make_submission(window)`` returns a ``POST /jobs``-shaped dict;
+    it receives the window number so it can salt the spec (and derive
+    per-window seeds).
+    """
+
+    name: str
+    interval: float
+    make_submission: Callable[[int], Dict[str, Any]]
+
+
+def nightly_chaos(episodes: int = 50, base_seed: int = 0,
+                  interval: float = 86400.0,
+                  name: str = "nightly-chaos") -> PeriodicTask:
+    """The flagship periodic task: a seeded chaos campaign per night.
+
+    The campaign seed is ``base_seed + window`` — distinct but
+    reproducible per night (rerunning night *k*'s job fuzzes the same
+    episodes and must produce the same digest).
+    """
+
+    def make(window: int) -> Dict[str, Any]:
+        return {"kind": "campaign",
+                "spec": {"seed": base_seed + window, "episodes": episodes,
+                         "window": window, "task": name}}
+
+    return PeriodicTask(name=name, interval=interval, make_submission=make)
+
+
+def tasks_from_file(path: str) -> List[PeriodicTask]:
+    """Load tasks from a JSON schedule file.
+
+    Format: a list of ``{"name", "interval", "submission"}`` where
+    ``submission`` is a ``POST /jobs`` object; ``$WINDOW`` anywhere in
+    a campaign spec's values is replaced with the window number, and a
+    ``"window"`` salt key is always added to campaign specs.
+    """
+    import json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    tasks: List[PeriodicTask] = []
+    for entry in entries:
+        submission = entry["submission"]
+
+        def make(window: int, _sub=submission) -> Dict[str, Any]:
+            sub = json.loads(json.dumps(_sub))  # deep copy
+            spec = sub.get("spec")
+            if isinstance(spec, dict):
+                for k, v in list(spec.items()):
+                    if v == "$WINDOW":
+                        spec[k] = window
+                spec.setdefault("window", window)
+            if sub.get("kind") == "cell":
+                sub.setdefault("kwargs", {})
+            return sub
+
+        tasks.append(PeriodicTask(name=entry["name"],
+                                  interval=float(entry["interval"]),
+                                  make_submission=make))
+    return tasks
+
+
+class Scheduler(threading.Thread):
+    """Tick loop that materializes due periodic tasks as jobs."""
+
+    def __init__(self, store: JobStore, tasks: List[PeriodicTask],
+                 poll: float = 1.0, log=None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        super().__init__(name="svc-scheduler", daemon=True)
+        self.store = store
+        self.tasks = list(tasks)
+        self.poll = poll
+        self.log = log or (lambda msg: None)
+        self.clock = clock or store.clock or time.time
+        self.stop_event = threading.Event()
+
+    # ------------------------------------------------------------- ticking
+    def tick(self, now: Optional[float] = None) -> int:
+        """Submit every task whose current window is unserved.
+
+        Idempotent and crash-safe: the watermark is written *after* the
+        submission, and a crash between the two only re-submits into
+        the store's dedup (same window -> same key -> same job).
+        Returns the number of jobs submitted.
+        """
+        now = float(self.clock() if now is None else now)
+        fired = 0
+        for task in self.tasks:
+            window = int(now // task.interval)
+            last = self.store.schedule_last_run(task.name)
+            if last is not None and int(last // task.interval) >= window:
+                continue  # this window already served
+            submission = task.make_submission(window)
+            kind, spec, key = parse_submission(submission)
+            job = self.store.submit(
+                kind, spec, key,
+                max_attempts=int(submission.get("max_attempts", 3)))
+            self.store.schedule_mark_run(task.name, now, job["id"])
+            fired += 1
+            self.log(f"scheduler: {task.name} window {window} -> "
+                     f"job {job['id']}"
+                     + (" (dedup)" if job.get("dedup") else ""))
+        return fired
+
+    # ------------------------------------------------------------ lifecycle
+    def run(self) -> None:
+        while not self.stop_event.is_set():
+            try:
+                self.tick()
+            except Exception as exc:
+                self.log(f"scheduler: {exc}")
+            self.stop_event.wait(self.poll)
+
+    def stop(self) -> None:
+        self.stop_event.set()

@@ -1,0 +1,348 @@
+"""The experiment service: a stdlib HTTP API over the job store.
+
+``python -m repro.svc serve`` runs one of these.  The server owns
+nothing the store does not — it is a thin, threaded HTTP frontend
+(QCFractal-style) plus two background threads:
+
+* a **reaper** that periodically requeues expired claims (workers also
+  requeue inline on claim, so the reaper only matters for a queue with
+  no active workers);
+* the **scheduler** (:mod:`repro.svc.scheduler`), when periodic tasks
+  are configured.
+
+API (all JSON unless noted):
+
+====================  ====================================================
+``GET  /healthz``      liveness probe: ``{"ok": true, ...}``
+``GET  /jobs``         recent jobs; ``?state=queued&limit=50``
+``GET  /jobs/<id>``    one job
+``POST /jobs``         submit: one submission object or ``{"cells":[...]}``
+``GET  /results/<k>``  stored result by key (JSON view + pickle base64)
+``GET  /metrics``      Prometheus exposition text (not JSON)
+``POST /claim``        worker API: ``{"worker", "lease"}`` -> job | 204
+``POST /heartbeat``    worker API: ``{"worker", "job_id", "lease"}``
+``POST /complete``     worker API: ``{"worker", "job_id", "result_b64",
+                       "cached"}``
+``POST /fail``         worker API: ``{"worker", "job_id", "error"}``
+====================  ====================================================
+
+Metrics come from a :class:`repro.obs.MetricsRegistry` — the same
+instrument types the simulator samples — refreshed from the store on
+every scrape: queue depth per state, worker liveness, cache-hit ratio,
+and a queue-to-claim latency histogram.
+
+The service is a trusted-network tool (results travel as pickles, like
+the on-disk cache): do not expose it to hosts you would not run code
+from.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..obs.metrics import MetricsRegistry
+from ..experiments.runner import decode_result
+from .store import JobStore
+from .submissions import parse_submission
+
+#: Queue-to-claim latency buckets (seconds): sub-poll to "stuck".
+CLAIM_LATENCY_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+#: A worker is "alive" if it heartbeat within this many seconds.
+DEFAULT_LIVENESS_WINDOW = 60.0
+
+
+class ExperimentService:
+    """Store + metrics + submission logic behind the HTTP handler."""
+
+    def __init__(self, store: JobStore,
+                 liveness_window: float = DEFAULT_LIVENESS_WINDOW) -> None:
+        self.store = store
+        self.liveness_window = liveness_window
+        self.registry = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._workers_alive = 0
+        self._workers_known = 0
+        self._lat_cursor = 0
+        reg = self.registry
+        for state in ("queued", "claimed", "done", "failed"):
+            reg.gauge("svc_jobs",
+                      (lambda s=state: float(self._counts.get(s, 0))),
+                      state=state)
+        reg.gauge("svc_results", lambda: float(self._counts.get("results", 0)))
+        reg.gauge("svc_workers_alive", lambda: float(self._workers_alive))
+        reg.gauge("svc_workers_known", lambda: float(self._workers_known))
+        reg.gauge("svc_cache_hit_ratio", self._cache_hit_ratio)
+        self.submissions = reg.counter("svc_submissions_total")
+        self.dedup_hits = reg.counter("svc_dedup_hits_total")
+        self.claim_latency = reg.histogram("svc_claim_latency_seconds",
+                                           CLAIM_LATENCY_BUCKETS)
+
+    def _cache_hit_ratio(self) -> float:
+        done = self._counts.get("done", 0)
+        return (self._counts.get("done_cached", 0) / done) if done else 0.0
+
+    # ---------------------------------------------------------- metrics
+    def refresh_metrics(self) -> None:
+        """Pull fresh queue/worker figures from the store (per scrape)."""
+        counts = self.store.counts()
+        workers = self.store.workers(self.liveness_window)
+        with self._lock:
+            self._counts = counts
+            self._workers_known = len(workers)
+            self._workers_alive = sum(1 for w in workers if w["alive"])
+            rows, self._lat_cursor = \
+                self.store.claim_latencies(self._lat_cursor)
+            for _job_id, latency in rows:
+                self.claim_latency.observe(latency)
+
+    def metrics_text(self) -> str:
+        self.refresh_metrics()
+        return self.registry.to_prometheus_text()
+
+    # ------------------------------------------------------- submissions
+    def submit_one(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        kind, spec, key = parse_submission(body)
+        max_attempts = int(body.get("max_attempts", 3))
+        job = self.store.submit(kind, spec, key, max_attempts=max_attempts)
+        self.submissions.inc()
+        if job.get("dedup"):
+            self.dedup_hits.inc()
+        return job
+
+    def submit(self, body: Any) -> Any:
+        """One submission object, or ``{"cells": [...]}`` for a matrix."""
+        if isinstance(body, dict) and "cells" in body:
+            jobs = [self.submit_one({"kind": "cell", **entry})
+                    for entry in body["cells"]]
+            return {"jobs": jobs}
+        return self.submit_one(body)
+
+    # ------------------------------------------------------------ results
+    def result_view(self, key: str) -> Optional[Dict[str, Any]]:
+        payload = self.store.result(key)
+        if payload is None:
+            return None
+        view: Dict[str, Any] = {
+            "key": key,
+            "pickle_b64": base64.b64encode(payload).decode("ascii"),
+        }
+        try:
+            value = decode_result(payload)
+            json.dumps(value)  # probe: only embed if JSON-able
+            view["value"] = value
+        except Exception:
+            view["value"] = None
+        return view
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP to the :class:`ExperimentService` on the server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-svc"
+
+    # The default handler logs every request to stderr; route through
+    # the server's optional log hook instead (quiet by default).
+    def log_message(self, fmt: str, *args: Any) -> None:
+        log = getattr(self.server, "log", None)
+        if log is not None:
+            log(f"{self.address_string()} {fmt % args}")
+
+    @property
+    def svc(self) -> ExperimentService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------ plumbing
+    def _send(self, code: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, obj: Any) -> None:
+        self._send(code, json.dumps(obj).encode("utf-8"))
+
+    def _error(self, code: int, message: str) -> None:
+        self._json(code, {"error": message})
+
+    def _body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        return json.loads(raw.decode("utf-8"))
+
+    # -------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            if url.path == "/healthz":
+                self._json(200, {"ok": True,
+                                 "now": self.svc.store._now(),
+                                 "counts": self.svc.store.counts()})
+            elif url.path == "/metrics":
+                self._send(200, self.svc.metrics_text().encode("utf-8"),
+                           content_type="text/plain; version=0.0.4")
+            elif url.path == "/jobs":
+                query = parse_qs(url.query)
+                state = (query.get("state") or [None])[0]
+                limit = int((query.get("limit") or ["100"])[0])
+                self._json(200, {"jobs": self.svc.store.jobs(state, limit)})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                job = self.svc.store.job(int(parts[1]))
+                if job is None:
+                    self._error(404, f"no job {parts[1]}")
+                else:
+                    self._json(200, job)
+            elif len(parts) == 2 and parts[0] == "results":
+                view = self.svc.result_view(parts[1])
+                if view is None:
+                    self._error(404, f"no result for {parts[1]}")
+                else:
+                    self._json(200, view)
+            elif url.path == "/workers":
+                self._json(200, {"workers": self.svc.store.workers(
+                    self.svc.liveness_window)})
+            else:
+                self._error(404, f"unknown path {url.path}")
+        except Exception as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            body = self._body()
+            if self.path == "/jobs":
+                try:
+                    self._json(201, self.svc.submit(body))
+                except ValueError as exc:
+                    self._error(400, str(exc))
+            elif self.path == "/claim":
+                job = self.svc.store.claim(body["worker"],
+                                           float(body.get("lease", 30.0)))
+                if job is None:
+                    self._send(204, b"")
+                else:
+                    self._json(200, job)
+            elif self.path == "/heartbeat":
+                ok = self.svc.store.heartbeat(
+                    body["worker"], int(body["job_id"]),
+                    float(body.get("lease", 30.0)))
+                self._json(200, {"ok": ok})
+            elif self.path == "/complete":
+                payload = base64.b64decode(body["result_b64"])
+                status = self.svc.store.complete(
+                    int(body["job_id"]), body["worker"], payload,
+                    cached=bool(body.get("cached", False)))
+                self._json(200, {"status": status})
+            elif self.path == "/fail":
+                status = self.svc.store.fail(
+                    int(body["job_id"]), body["worker"],
+                    str(body.get("error", "")))
+                self._json(200, {"status": status})
+            else:
+                self._error(404, f"unknown path {self.path}")
+        except (KeyError, ValueError) as exc:
+            self._error(400, f"bad request: {exc}")
+        except Exception as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service + optional log hook."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: ExperimentService, log=None) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.log = log
+
+
+def make_server(store: JobStore, host: str = "127.0.0.1", port: int = 0,
+                liveness_window: float = DEFAULT_LIVENESS_WINDOW,
+                log=None) -> ServiceServer:
+    """Bind (but do not run) a service server; ``port=0`` picks a port."""
+    service = ExperimentService(store, liveness_window=liveness_window)
+    return ServiceServer((host, port), service, log=log)
+
+
+class Reaper(threading.Thread):
+    """Periodically requeue expired claims (server-side safety net)."""
+
+    def __init__(self, store: JobStore, interval: float = 5.0,
+                 log=None) -> None:
+        super().__init__(name="svc-reaper", daemon=True)
+        self.store = store
+        self.interval = interval
+        self.stop_event = threading.Event()
+        self.log = log or (lambda msg: None)
+
+    def run(self) -> None:
+        while not self.stop_event.wait(self.interval):
+            try:
+                moved = self.store.requeue_expired()
+                if moved:
+                    self.log(f"reaper: recovered {moved} expired claim(s)")
+            except Exception as exc:
+                self.log(f"reaper: {exc}")
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+
+def serve(db_path: str, host: str = "127.0.0.1", port: int = 8760,
+          tasks: Optional[List] = None, reaper_interval: float = 5.0,
+          port_file: Optional[str] = None, log=print,
+          ready: Optional[threading.Event] = None) -> int:
+    """Run the service until SIGTERM/SIGINT (the CLI entry point).
+
+    ``port_file`` (written after bind) lets scripts use ``--port 0``
+    and discover the chosen port; ``ready`` is set once serving.
+    """
+    import signal
+
+    store = JobStore(db_path)
+    httpd = make_server(store, host, port, log=None)
+    bound = httpd.server_address[1]
+    if port_file:
+        with open(port_file, "w", encoding="utf-8") as fh:
+            fh.write(str(bound))
+    reaper = Reaper(store, reaper_interval, log=log)
+    reaper.start()
+    scheduler = None
+    if tasks:
+        from .scheduler import Scheduler
+        scheduler = Scheduler(store, tasks, log=log)
+        scheduler.start()
+
+    def _stop(_signum, _frame):
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    if log:
+        log(f"svc: serving {db_path} on http://{host}:{bound} "
+            f"({len(tasks or [])} scheduled task(s))")
+    if ready is not None:
+        ready.set()
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    finally:
+        reaper.stop()
+        if scheduler is not None:
+            scheduler.stop()
+        httpd.server_close()
+    if log:
+        log("svc: shut down cleanly")
+    return 0

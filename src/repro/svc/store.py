@@ -1,0 +1,444 @@
+"""SQLite-backed persistent job queue and result store.
+
+The durable heart of the experiment service (:mod:`repro.svc`): every
+submission, claim, heartbeat, completion, and scheduled-task watermark
+lives in one SQLite file, so the server, the worker fleet, and the
+scheduler can all crash and restart without losing or double-running
+work.  The design follows the queue-in-a-database pattern of QCFractal
+(server + managers polling a task queue) and IceProd (scheduled tasks
+with materialized state), scaled down to stdlib ``sqlite3``.
+
+Keys and dedup
+    Jobs are keyed by the *stable hash* of their payload — for cells,
+    exactly :func:`repro.experiments.runner.cell_key`, i.e. the same
+    key the on-disk result cache uses.  Submitting a duplicate while an
+    equivalent job is queued/claimed returns the existing job;
+    submitting after one finished creates a job row that is *born
+    done*, satisfied from the stored result.  Either way there is at
+    most one active job and exactly one result row per key.
+
+Leases
+    A claim grants a lease (``lease_expires``); workers heartbeat to
+    extend it.  A worker that dies (``kill -9`` included) simply stops
+    heartbeating, and :meth:`JobStore.requeue_expired` — run inline on
+    every claim and periodically by the server's reaper — returns the
+    job to the queue.  ``attempts`` counts claims; a job whose lease
+    expires with ``attempts >= max_attempts`` is marked ``failed``
+    instead of requeued, so a crash-looping cell cannot poison the
+    fleet forever.
+
+Exactly-once results
+    Results are published with ``INSERT OR IGNORE`` on the key, so a
+    *zombie* worker (lease expired, job re-claimed, but the old process
+    is still running) completing late cannot create a second result
+    row — and because cells are deterministic, whichever attempt lands
+    first wrote the same bytes the other would have.
+
+Every method opens a short-lived connection (WAL mode, busy timeout),
+which makes the store safe to share between the server's HTTP threads,
+the scheduler thread, and any number of worker processes on one host.
+All timestamps come from an injectable ``clock`` so tests can expire
+leases without sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Job lifecycle: ``queued -> claimed -> done | failed`` (claimed jobs
+#: whose lease expires loop back to ``queued`` until attempts run out).
+STATES = ("queued", "claimed", "done", "failed")
+
+DEFAULT_MAX_ATTEMPTS = 3
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind          TEXT NOT NULL,
+    spec          TEXT NOT NULL,
+    key           TEXT NOT NULL,
+    state         TEXT NOT NULL DEFAULT 'queued',
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_attempts  INTEGER NOT NULL DEFAULT 3,
+    worker        TEXT,
+    lease_expires REAL,
+    created_at    REAL NOT NULL,
+    claimed_at    REAL,
+    finished_at   REAL,
+    cached        INTEGER NOT NULL DEFAULT 0,
+    error         TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs(state);
+CREATE UNIQUE INDEX IF NOT EXISTS jobs_active_key
+    ON jobs(key) WHERE state IN ('queued', 'claimed');
+CREATE TABLE IF NOT EXISTS results (
+    key        TEXT PRIMARY KEY,
+    payload    BLOB NOT NULL,
+    job_id     INTEGER,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS workers (
+    id         TEXT PRIMARY KEY,
+    started_at REAL NOT NULL,
+    last_beat  REAL NOT NULL,
+    jobs_done  INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS schedules (
+    name        TEXT PRIMARY KEY,
+    last_run    REAL,
+    last_job_id INTEGER
+);
+"""
+
+
+def _job_dict(row: sqlite3.Row) -> Dict[str, Any]:
+    job = dict(row)
+    job["spec"] = json.loads(job["spec"])
+    job["cached"] = bool(job["cached"])
+    return job
+
+
+class JobStore:
+    """Persistent job queue + result store over one SQLite file."""
+
+    def __init__(self, path: str, clock: Callable[[], float] = time.time,
+                 busy_timeout: float = 30.0) -> None:
+        self.path = path
+        self.clock = clock
+        self.busy_timeout = busy_timeout
+        #: Test hook: called inside the completion transaction right
+        #: before commit (the kill-during-commit crash test hangs here
+        #: and gets SIGKILLed to prove the transaction rolls back).
+        self._pre_commit: Optional[Callable[[], None]] = None
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with self._con() as con:
+            con.executescript(_SCHEMA)
+
+    # ----------------------------------------------------------- plumbing
+    @contextmanager
+    def _con(self) -> Iterator[sqlite3.Connection]:
+        """A short-lived autocommit connection (explicit BEGIN below)."""
+        con = sqlite3.connect(self.path, timeout=self.busy_timeout,
+                              isolation_level=None)
+        con.row_factory = sqlite3.Row
+        con.execute("PRAGMA journal_mode=WAL")
+        con.execute("PRAGMA synchronous=NORMAL")
+        try:
+            yield con
+        finally:
+            con.close()
+
+    @contextmanager
+    def _txn(self) -> Iterator[sqlite3.Connection]:
+        """One IMMEDIATE write transaction on a fresh connection."""
+        with self._con() as con:
+            con.execute("BEGIN IMMEDIATE")
+            try:
+                yield con
+            except BaseException:
+                con.execute("ROLLBACK")
+                raise
+            else:
+                con.execute("COMMIT")
+
+    def _now(self) -> float:
+        return float(self.clock())
+
+    # --------------------------------------------------------- submission
+    def submit(self, kind: str, spec: Dict[str, Any], key: str,
+               max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> Dict[str, Any]:
+        """Enqueue one job (or dedup against an equivalent one).
+
+        Returns the job dict with an extra ``dedup`` flag:
+
+        * an active (queued/claimed) job with the same key exists —
+          that job is returned, no new row;
+        * a result row for the key exists — a new job row is created
+          already ``done`` (``cached`` set), satisfied from the store;
+        * otherwise a fresh ``queued`` job is created.
+        """
+        now = self._now()
+        with self._txn() as con:
+            row = con.execute(
+                "SELECT * FROM jobs WHERE key = ? AND "
+                "state IN ('queued','claimed') LIMIT 1", (key,)).fetchone()
+            if row is not None:
+                job = _job_dict(row)
+                job["dedup"] = True
+                return job
+            have_result = con.execute(
+                "SELECT 1 FROM results WHERE key = ?", (key,)).fetchone()
+            if have_result is not None:
+                cur = con.execute(
+                    "INSERT INTO jobs (kind, spec, key, state, "
+                    "max_attempts, created_at, finished_at, cached) "
+                    "VALUES (?,?,?,'done',?,?,?,1)",
+                    (kind, json.dumps(spec, sort_keys=True), key,
+                     max_attempts, now, now))
+            else:
+                cur = con.execute(
+                    "INSERT INTO jobs (kind, spec, key, max_attempts, "
+                    "created_at) VALUES (?,?,?,?,?)",
+                    (kind, json.dumps(spec, sort_keys=True), key,
+                     max_attempts, now))
+            row = con.execute("SELECT * FROM jobs WHERE id = ?",
+                              (cur.lastrowid,)).fetchone()
+            job = _job_dict(row)
+            job["dedup"] = have_result is not None
+            return job
+
+    # ------------------------------------------------------------ leasing
+    def requeue_expired(self, now: Optional[float] = None) -> int:
+        """Recover jobs whose worker stopped heartbeating.
+
+        Expired claims requeue (``queued``, worker cleared) unless the
+        job already burned ``max_attempts`` claims, in which case it is
+        ``failed``.  Returns the number of rows transitioned.
+        """
+        now = self._now() if now is None else now
+        with self._txn() as con:
+            return self._requeue_expired(con, now)
+
+    def _requeue_expired(self, con: sqlite3.Connection, now: float) -> int:
+        failed = con.execute(
+            "UPDATE jobs SET state='failed', finished_at=?, "
+            "error=COALESCE(error,'') || '[lease expired; attempts "
+            "exhausted]' WHERE state='claimed' AND lease_expires < ? "
+            "AND attempts >= max_attempts", (now, now)).rowcount
+        requeued = con.execute(
+            "UPDATE jobs SET state='queued', worker=NULL, "
+            "lease_expires=NULL WHERE state='claimed' AND "
+            "lease_expires < ?", (now,)).rowcount
+        return failed + requeued
+
+    def claim(self, worker: str, lease: float) -> Optional[Dict[str, Any]]:
+        """Atomically claim the oldest queued job (FIFO); None if idle.
+
+        Also requeues expired claims first (so a single-worker
+        deployment recovers orphans with no server reaper) and records
+        the worker's liveness beat.
+        """
+        now = self._now()
+        with self._txn() as con:
+            self._requeue_expired(con, now)
+            self._beat(con, worker, now)
+            row = con.execute(
+                "SELECT id FROM jobs WHERE state='queued' "
+                "ORDER BY id LIMIT 1").fetchone()
+            if row is None:
+                return None
+            con.execute(
+                "UPDATE jobs SET state='claimed', worker=?, "
+                "lease_expires=?, claimed_at=?, attempts=attempts+1 "
+                "WHERE id=? AND state='queued'",
+                (worker, now + lease, now, row["id"]))
+            job = con.execute("SELECT * FROM jobs WHERE id=?",
+                              (row["id"],)).fetchone()
+            return _job_dict(job)
+
+    def heartbeat(self, worker: str, job_id: int, lease: float) -> bool:
+        """Extend the lease on a claimed job; False if no longer ours.
+
+        A False return tells the worker its lease already expired and
+        the job was requeued (possibly re-claimed elsewhere): finish
+        quietly — the completion path is stale-safe — but expect the
+        result to be attributed to the other attempt.
+        """
+        now = self._now()
+        with self._txn() as con:
+            self._beat(con, worker, now)
+            changed = con.execute(
+                "UPDATE jobs SET lease_expires=? WHERE id=? AND "
+                "worker=? AND state='claimed'",
+                (now + lease, job_id, worker)).rowcount
+            return changed > 0
+
+    def _beat(self, con: sqlite3.Connection, worker: str,
+              now: float) -> None:
+        con.execute(
+            "INSERT INTO workers (id, started_at, last_beat) "
+            "VALUES (?,?,?) ON CONFLICT(id) DO UPDATE SET last_beat=?",
+            (worker, now, now, now))
+
+    # --------------------------------------------------------- completion
+    def complete(self, job_id: int, worker: str, payload: bytes,
+                 cached: bool = False) -> str:
+        """Publish a result and close the job; returns the outcome.
+
+        * ``"done"`` — we held the claim; result stored, job done.
+        * ``"done-late"`` — our lease had expired and the job sat
+          requeued; the result is stored (exactly once) and the job
+          closed anyway, since a deterministic cell's late result is
+          *the* result.
+        * ``"stale"`` — another worker holds (or finished) the job;
+          the result row is still published idempotently, the job row
+          is left to the current owner.
+        """
+        now = self._now()
+        with self._con() as con:
+            con.execute("BEGIN IMMEDIATE")
+            try:
+                con.execute(
+                    "INSERT OR IGNORE INTO results "
+                    "(key, payload, job_id, created_at) "
+                    "SELECT key, ?, id, ? FROM jobs WHERE id=?",
+                    (payload, now, job_id))
+                row = con.execute(
+                    "SELECT state, worker FROM jobs WHERE id=?",
+                    (job_id,)).fetchone()
+                if row is None:
+                    outcome = "stale"
+                elif row["state"] == "claimed" and row["worker"] == worker:
+                    con.execute(
+                        "UPDATE jobs SET state='done', finished_at=?, "
+                        "cached=? WHERE id=?",
+                        (now, 1 if cached else 0, job_id))
+                    con.execute(
+                        "UPDATE workers SET jobs_done=jobs_done+1, "
+                        "last_beat=? WHERE id=?", (now, worker))
+                    outcome = "done"
+                elif row["state"] == "queued":
+                    con.execute(
+                        "UPDATE jobs SET state='done', finished_at=?, "
+                        "worker=?, cached=? WHERE id=?",
+                        (now, worker, 1 if cached else 0, job_id))
+                    outcome = "done-late"
+                else:
+                    outcome = "stale"
+            except BaseException:
+                con.execute("ROLLBACK")
+                raise
+            if outcome != "stale" and self._pre_commit is not None:
+                self._pre_commit()
+            con.execute("COMMIT")
+            return outcome
+
+    def fail(self, job_id: int, worker: str, error: str) -> str:
+        """Record a job attempt's failure; requeue or give up.
+
+        Returns ``"requeued"`` (attempts remain), ``"failed"``
+        (attempts exhausted), or ``"stale"`` (not our claim).
+        """
+        now = self._now()
+        with self._txn() as con:
+            row = con.execute(
+                "SELECT state, worker, attempts, max_attempts "
+                "FROM jobs WHERE id=?", (job_id,)).fetchone()
+            if row is None or row["state"] != "claimed" \
+                    or row["worker"] != worker:
+                return "stale"
+            if row["attempts"] >= row["max_attempts"]:
+                con.execute(
+                    "UPDATE jobs SET state='failed', finished_at=?, "
+                    "error=? WHERE id=?", (now, error, job_id))
+                return "failed"
+            con.execute(
+                "UPDATE jobs SET state='queued', worker=NULL, "
+                "lease_expires=NULL, error=? WHERE id=?",
+                (error, job_id))
+            return "requeued"
+
+    # ------------------------------------------------------------ queries
+    def job(self, job_id: int) -> Optional[Dict[str, Any]]:
+        with self._con() as con:
+            row = con.execute("SELECT * FROM jobs WHERE id=?",
+                              (job_id,)).fetchone()
+            return None if row is None else _job_dict(row)
+
+    def jobs(self, state: Optional[str] = None,
+             limit: int = 100) -> List[Dict[str, Any]]:
+        """Most-recent-first job listing, optionally filtered by state."""
+        with self._con() as con:
+            if state is None:
+                rows = con.execute(
+                    "SELECT * FROM jobs ORDER BY id DESC LIMIT ?",
+                    (limit,)).fetchall()
+            else:
+                rows = con.execute(
+                    "SELECT * FROM jobs WHERE state=? "
+                    "ORDER BY id DESC LIMIT ?", (state, limit)).fetchall()
+            return [_job_dict(r) for r in rows]
+
+    def result(self, key: str) -> Optional[bytes]:
+        with self._con() as con:
+            row = con.execute(
+                "SELECT payload FROM results WHERE key=?", (key,)).fetchone()
+            return None if row is None else bytes(row["payload"])
+
+    def result_count(self, key: str) -> int:
+        """Result rows for a key — 0 or 1 by schema; tests assert it."""
+        with self._con() as con:
+            row = con.execute(
+                "SELECT COUNT(*) AS n FROM results WHERE key=?",
+                (key,)).fetchone()
+            return int(row["n"])
+
+    def counts(self) -> Dict[str, int]:
+        """Per-state job counts plus ``done_cached`` and ``results``."""
+        out = {state: 0 for state in STATES}
+        with self._con() as con:
+            for row in con.execute(
+                    "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"):
+                out[row["state"]] = int(row["n"])
+            out["done_cached"] = int(con.execute(
+                "SELECT COUNT(*) AS n FROM jobs WHERE state='done' "
+                "AND cached=1").fetchone()["n"])
+            out["results"] = int(con.execute(
+                "SELECT COUNT(*) AS n FROM results").fetchone()["n"])
+        return out
+
+    def claim_latencies(self, since_id: int = 0) \
+            -> Tuple[List[Tuple[int, float]], int]:
+        """Queue-to-claim latencies for jobs above ``since_id``.
+
+        Returns ``([(job_id, latency_seconds), ...], new_cursor)`` —
+        the server feeds these into its claim-latency histogram on
+        scrape, advancing the cursor so each job is observed once
+        (re-claims after a lease expiry are not re-observed; this is a
+        fleet-health signal, not an audit ledger).
+        """
+        with self._con() as con:
+            rows = con.execute(
+                "SELECT id, claimed_at - created_at AS lat FROM jobs "
+                "WHERE claimed_at IS NOT NULL AND id > ? ORDER BY id",
+                (since_id,)).fetchall()
+            out = [(int(r["id"]), float(r["lat"])) for r in rows]
+            cursor = out[-1][0] if out else since_id
+            return out, cursor
+
+    def workers(self, liveness_window: float = 60.0) \
+            -> List[Dict[str, Any]]:
+        """Known workers with an ``alive`` flag (recent heartbeat)."""
+        now = self._now()
+        with self._con() as con:
+            rows = con.execute("SELECT * FROM workers ORDER BY id").fetchall()
+            out = []
+            for row in rows:
+                rec = dict(row)
+                rec["alive"] = (now - rec["last_beat"]) <= liveness_window
+                out.append(rec)
+            return out
+
+    # ---------------------------------------------------------- schedules
+    def schedule_last_run(self, name: str) -> Optional[float]:
+        with self._con() as con:
+            row = con.execute(
+                "SELECT last_run FROM schedules WHERE name=?",
+                (name,)).fetchone()
+            return None if row is None or row["last_run"] is None \
+                else float(row["last_run"])
+
+    def schedule_mark_run(self, name: str, when: float,
+                          job_id: Optional[int] = None) -> None:
+        with self._con() as con:
+            con.execute(
+                "INSERT INTO schedules (name, last_run, last_job_id) "
+                "VALUES (?,?,?) ON CONFLICT(name) DO UPDATE SET "
+                "last_run=?, last_job_id=?",
+                (name, when, job_id, when, job_id))

@@ -1,0 +1,86 @@
+"""Submission shapes and dedup keys shared by server, client, and tests.
+
+A submission is a plain JSON dict — the wire format of ``POST /jobs``
+and the ``spec`` column of the job store:
+
+* ``{"kind": "cell", "fn": "pkg.mod:func", "kwargs": {...}}`` — one
+  experiment-matrix cell, executed through the import-path + result-
+  cache machinery of :mod:`repro.experiments.runner`;
+* ``{"kind": "campaign", "spec": {"seed": 0, "episodes": 25, ...}}`` —
+  one chaos campaign via :func:`repro.chaos.run_campaign_job`.
+
+Keys are computed **server-side** from the normalized (JSON
+round-tripped) spec, so two clients submitting the same work can never
+disagree about identity.  Cell keys are exactly the runner's cache keys
+under the *null* context token — the key a flag-less CLI run would
+use — which is what lets the service, the CLI, and the worker fleet
+share one ``.ibridge-cache``.  Cell kwargs are therefore JSON-only by
+contract: tuples, enums, and dataclasses do not survive the wire and
+are rejected up front.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+from .. import __version__
+from ..experiments.runner import (CACHE_SCHEMA, cell, cell_key,
+                                  null_context_token, stable_hash)
+
+KINDS = ("cell", "campaign")
+
+
+def _json_roundtrip(obj: Any) -> Any:
+    """Force the value through JSON so key == key-of-what-is-stored."""
+    try:
+        return json.loads(json.dumps(obj))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"submission payloads must be JSON-only (got {obj!r}): {exc}")
+
+
+def cell_submission(fn: str, kwargs: Dict[str, Any]) \
+        -> Tuple[str, Dict[str, Any], str]:
+    """Normalize one cell submission -> ``(kind, spec, key)``."""
+    if not isinstance(fn, str) or ":" not in fn:
+        raise ValueError(f"cell fn must look like 'pkg.mod:func', got {fn!r}")
+    if not isinstance(kwargs, dict):
+        raise ValueError(f"cell kwargs must be an object, got {kwargs!r}")
+    kwargs = _json_roundtrip(kwargs)
+    spec = {"fn": fn, "kwargs": kwargs}
+    key = cell_key(cell(fn, **kwargs), null_context_token())
+    return "cell", spec, key
+
+
+def campaign_submission(spec: Dict[str, Any]) \
+        -> Tuple[str, Dict[str, Any], str]:
+    """Normalize one campaign submission -> ``(kind, spec, key)``.
+
+    The key covers the whole spec plus the package version, so a
+    scheduler salting the spec (e.g. ``{"window": 20123}``) gets a
+    distinct job per window while identical resubmissions dedup.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"campaign spec must be an object, got {spec!r}")
+    for field in ("seed", "episodes"):
+        if field not in spec:
+            raise ValueError(f"campaign spec needs {field!r}")
+    spec = _json_roundtrip(spec)
+    key = stable_hash({"kind": "campaign", "schema": CACHE_SCHEMA,
+                       "version": __version__, "spec": spec})
+    return "campaign", spec, key
+
+
+def parse_submission(body: Dict[str, Any]) \
+        -> Tuple[str, Dict[str, Any], str]:
+    """Validate one ``POST /jobs`` submission object -> spec + key."""
+    if not isinstance(body, dict):
+        raise ValueError("submission must be a JSON object")
+    kind = body.get("kind")
+    if kind == "cell":
+        return cell_submission(body.get("fn"), body.get("kwargs") or {})
+    if kind == "campaign":
+        return campaign_submission(body.get("spec") or {})
+    raise ValueError(f"unknown submission kind {kind!r} "
+                     f"(expected one of {KINDS})")

@@ -1,0 +1,146 @@
+"""Result-cache maintenance: size/age parsing, stats, LRU prune, CLI."""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.cache_tools import (cache_stats, parse_age,
+                                           parse_size, prune_cache)
+from repro.experiments.cli import main as cli_main
+from repro.experiments.runner import ResultCache
+
+
+# ---------------------------------------------------------------- parsing
+@pytest.mark.parametrize("text,expected", [
+    ("1024", 1024),
+    ("4k", 4 * 1024),
+    ("500M", 500 * 1024 ** 2),
+    ("2G", 2 * 1024 ** 3),
+    ("1.5g", int(1.5 * 1024 ** 3)),
+    ("10KB", 10 * 1024),
+])
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("90", 90.0),
+    ("45s", 45.0),
+    ("5m", 300.0),
+    ("12h", 12 * 3600.0),
+    ("7d", 7 * 86400.0),
+    ("2w", 14 * 86400.0),
+])
+def test_parse_age(text, expected):
+    assert parse_age(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "lots", "5x", "-3M"])
+def test_parse_rejections(bad):
+    with pytest.raises(ValueError):
+        parse_size(bad)
+    with pytest.raises(ValueError):
+        parse_age(bad)
+
+
+# ------------------------------------------------------------------ setup
+def _fill(tmp_path, ages):
+    """A cache with one entry per (name, age-seconds); returns its dir."""
+    directory = str(tmp_path / "cache")
+    cache = ResultCache(directory)
+    now = time.time()
+    for name, age in ages.items():
+        cache.put(name, {"payload": name * 50})
+    # pin mtimes so LRU order is deterministic
+    for name, age in ages.items():
+        path = os.path.join(directory, name[:2], f"{name}.pkl")
+        os.utime(path, (now - age, now - age))
+    return directory, now
+
+
+def test_stats_counts_entries(tmp_path):
+    directory, now = _fill(tmp_path, {"aa11": 10.0, "bb22": 100.0})
+    stats = cache_stats(directory, clock=lambda: now)
+    assert stats.files == 2
+    assert stats.bytes > 0
+    assert stats.oldest_age == pytest.approx(100.0)
+    assert stats.newest_age == pytest.approx(10.0)
+
+
+def test_stats_on_missing_dir_is_empty(tmp_path):
+    stats = cache_stats(str(tmp_path / "nope"))
+    assert stats.files == 0 and stats.bytes == 0
+
+
+def test_prune_by_age(tmp_path):
+    directory, now = _fill(tmp_path, {"aa11": 10.0, "bb22": 500.0,
+                                      "cc33": 900.0})
+    report = prune_cache(directory, max_age=600.0, clock=lambda: now)
+    assert report.removed_files == 1
+    assert report.kept_files == 2
+    assert not os.path.exists(os.path.join(directory, "cc", "cc33.pkl"))
+    assert os.path.exists(os.path.join(directory, "aa", "aa11.pkl"))
+
+
+def test_prune_by_bytes_evicts_lru_first(tmp_path):
+    directory, now = _fill(tmp_path, {"aa11": 10.0, "bb22": 500.0,
+                                      "cc33": 900.0})
+    entry_bytes = os.path.getsize(
+        os.path.join(directory, "aa", "aa11.pkl"))
+    # room for two entries: the oldest-touched one (cc33) must go
+    report = prune_cache(directory, max_bytes=2 * entry_bytes + 1,
+                         clock=lambda: now)
+    assert report.removed_files == 1
+    assert [os.path.basename(p) for p in report.removed] == ["cc33.pkl"]
+    assert os.path.exists(os.path.join(directory, "aa", "aa11.pkl"))
+    assert os.path.exists(os.path.join(directory, "bb", "bb22.pkl"))
+
+
+def test_prune_dry_run_removes_nothing(tmp_path):
+    directory, now = _fill(tmp_path, {"aa11": 900.0})
+    report = prune_cache(directory, max_age=100.0, dry_run=True,
+                         clock=lambda: now)
+    assert report.removed_files == 1
+    assert os.path.exists(os.path.join(directory, "aa", "aa11.pkl"))
+
+
+def test_prune_drops_empty_shards_and_survivors_still_hit(tmp_path):
+    directory, now = _fill(tmp_path, {"aa11": 900.0, "bb22": 10.0})
+    prune_cache(directory, max_age=100.0, clock=lambda: now)
+    assert not os.path.isdir(os.path.join(directory, "aa"))
+    hit, value = ResultCache(directory).get("bb22")
+    assert hit and value == {"payload": "bb22" * 50}
+
+
+def test_prune_requires_a_limit(tmp_path):
+    with pytest.raises(ValueError, match="max-bytes"):
+        prune_cache(str(tmp_path))
+
+
+def test_get_touches_mtime_for_lru(tmp_path):
+    directory, now = _fill(tmp_path, {"aa11": 900.0})
+    path = os.path.join(directory, "aa", "aa11.pkl")
+    before = os.path.getmtime(path)
+    hit, _ = ResultCache(directory).get("aa11")
+    assert hit
+    assert os.path.getmtime(path) > before
+
+
+# -------------------------------------------------------------------- CLI
+def test_cache_cli_stats_and_prune(tmp_path, capsys):
+    directory, _now = _fill(tmp_path, {"aa11": 10.0, "bb22": 900.0})
+    assert cli_main(["cache", "--cache-dir", directory, "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "2 entries" in out
+
+    assert cli_main(["cache", "--cache-dir", directory, "prune",
+                     "--max-age", "100s"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 entry" in out
+    assert cache_stats(directory).files == 1
+
+
+def test_cache_cli_prune_needs_a_limit(tmp_path):
+    with pytest.raises(SystemExit):
+        cli_main(["cache", "--cache-dir", str(tmp_path), "prune"])

@@ -1,0 +1,130 @@
+"""Prometheus text exposition: render, round-trip, and the CLI path."""
+
+import math
+
+import pytest
+
+from repro.config import ObsConfig
+from repro.obs.metrics import MetricsRegistry, parse_prometheus_text
+
+
+def _loaded_registry():
+    reg = MetricsRegistry()
+    reg.counter("requests_total", server="s0", op="read").inc(5)
+    reg.counter("requests_total", server="s1", op="read").inc(2)
+    reg.counter("plain_total").inc()
+    reg.gauge("queue_depth", lambda: 3.5, server="s0")
+    hist = reg.histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        hist.observe(v)
+    return reg
+
+
+def test_round_trip_preserves_types_and_values():
+    text = _loaded_registry().to_prometheus_text()
+    types, samples = parse_prometheus_text(text)
+    assert types == {"requests_total": "counter", "plain_total": "counter",
+                     "queue_depth": "gauge",
+                     "latency_seconds": "histogram"}
+    assert samples[("requests_total",
+                    (("op", "read"), ("server", "s0")))] == 5
+    assert samples[("requests_total",
+                    (("op", "read"), ("server", "s1")))] == 2
+    assert samples[("plain_total", ())] == 1
+    assert samples[("queue_depth", (("server", "s0"),))] == 3.5
+
+
+def test_histogram_buckets_are_cumulative():
+    text = _loaded_registry().to_prometheus_text()
+    _, samples = parse_prometheus_text(text)
+    assert samples[("latency_seconds_bucket", (("le", "0.1"),))] == 1
+    assert samples[("latency_seconds_bucket", (("le", "1"),))] == 3
+    assert samples[("latency_seconds_bucket", (("le", "10"),))] == 4
+    assert samples[("latency_seconds_bucket", (("le", "+Inf"),))] == 5
+    assert samples[("latency_seconds_count", ())] == 5
+    assert samples[("latency_seconds_sum", ())] == pytest.approx(56.05)
+
+
+def test_type_line_emitted_once_per_family():
+    text = _loaded_registry().to_prometheus_text()
+    assert text.count("# TYPE requests_total counter") == 1
+
+
+def test_gauges_read_live_at_render_time():
+    reg = MetricsRegistry()
+    box = {"v": 1.0}
+    reg.gauge("live", lambda: box["v"])
+    _, first = parse_prometheus_text(reg.to_prometheus_text())
+    box["v"] = 9.0
+    _, second = parse_prometheus_text(reg.to_prometheus_text())
+    assert first[("live", ())] == 1.0
+    assert second[("live", ())] == 9.0
+
+
+def test_label_values_escape_and_round_trip():
+    reg = MetricsRegistry()
+    nasty = 'a"b\\c\nd'
+    reg.counter("weird_total", path=nasty).inc(4)
+    text = reg.to_prometheus_text()
+    _, samples = parse_prometheus_text(text)
+    assert samples[("weird_total", (("path", nasty),))] == 4
+
+
+def test_metric_names_are_sanitized():
+    reg = MetricsRegistry()
+    reg.counter("ssd.log-occupancy").inc(2)
+    types, samples = parse_prometheus_text(reg.to_prometheus_text())
+    assert types == {"ssd_log_occupancy": "counter"}
+    assert samples[("ssd_log_occupancy", ())] == 2
+
+
+def test_special_float_values_render():
+    reg = MetricsRegistry()
+    reg.gauge("inf_gauge", lambda: float("inf"))
+    reg.gauge("nan_gauge", lambda: float("nan"))
+    _, samples = parse_prometheus_text(reg.to_prometheus_text())
+    assert samples[("inf_gauge", ())] == float("inf")
+    assert math.isnan(samples[("nan_gauge", ())])
+
+
+def test_parse_rejects_malformed_line():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_prometheus_text("good_metric 1\n}{ nonsense\n")
+
+
+def test_obs_runtime_writes_exposition_file(tmp_path):
+    """The --metrics-text plumbing: finish_run snapshots the registry."""
+    from repro.obs.runtime import ObsRuntime
+    from repro.sim.core import Environment
+
+    out = tmp_path / "metrics.prom"
+    env = Environment()
+    runtime = ObsRuntime(env, ObsConfig(
+        enabled=True, trace=False, metrics=True,
+        metrics_text_path=str(out)))
+    runtime.registry.counter("svc_test_total", kind="unit").inc(3)
+    runtime.finish_run()
+    types, samples = parse_prometheus_text(
+        out.read_text(encoding="utf-8"))
+    assert types["svc_test_total"] == "counter"
+    assert samples[("svc_test_total", (("kind", "unit"),))] == 3
+
+
+def test_experiments_cli_metrics_text_flag(tmp_path, monkeypatch):
+    """`ibridge-experiment --metrics-text` writes a parseable snapshot."""
+    from repro.experiments.cli import main
+    from repro.experiments.fig2 import _cell_throughput
+    from repro.experiments.registry import EXPERIMENTS
+
+    def tiny(scale=0.002):
+        return _cell_throughput(scale=scale, nprocs=4, size=65536)
+
+    monkeypatch.setitem(EXPERIMENTS, "tinytest", tiny)
+    out = tmp_path / "cli.prom"
+    rc = main(["tinytest", "--scale", "0.002", "--no-cache",
+               "--metrics-text", str(out)])
+    assert rc == 0
+    types, samples = parse_prometheus_text(
+        out.read_text(encoding="utf-8"))
+    assert types, "exposition file declared no metric families"
+    assert samples, "exposition file held no samples"

@@ -190,3 +190,38 @@ def test_result_cache_roundtrip_and_torn_write_resistance(tmp_path):
         fh.write(b"\x80garbage")
     hit, _ = store.get("deadbeef")
     assert hit is False
+
+
+def test_default_cache_dir_reads_env_at_call_time(tmp_path, monkeypatch):
+    """REPRO_CACHE_DIR set *after* import must still take effect."""
+    from repro.experiments.runner import default_cache_dir
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert default_cache_dir() == ".ibridge-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == str(tmp_path / "elsewhere")
+    # ResultCache() with no directory resolves lazily too
+    store = ResultCache()
+    store.put("aa11", 42)
+    assert (tmp_path / "elsewhere" / "aa" / "aa11.pkl").exists()
+
+
+def test_encode_decode_result_roundtrip():
+    from repro.experiments.runner import decode_result, encode_result
+
+    value = {"throughput": 123.4, "rows": [(1, 2), (3, 4)]}
+    blob = encode_result(value)
+    assert isinstance(blob, bytes)
+    assert decode_result(blob) == value
+
+
+def test_cell_key_and_null_context_token(tmp_path):
+    from repro.experiments.runner import (cell_key, default_context_token,
+                                          null_context_token)
+
+    c = cell(PROBE, a=1)
+    # with no process-wide audit/fault/obs defaults, the default
+    # context IS the null context — the service's shared-cache contract
+    assert default_context_token() == null_context_token()
+    assert cell_key(c) == c.key(default_context_token())
+    assert cell_key(c, null_context_token()) == cell_key(c)

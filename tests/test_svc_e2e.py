@@ -1,0 +1,126 @@
+"""End-to-end acceptance for the experiment service (ISSUE.md, PR 7).
+
+One scenario, three guarantees:
+
+1. a matrix of >= 8 cells over 2 concurrent workers produces results
+   bit-identical (same pickled bytes) to a serial ``run_cells`` of the
+   same cells;
+2. resubmitting the matrix performs **zero** simulation steps — every
+   job is satisfied from the store/cache;
+3. the service-warmed ``.ibridge-cache`` is the same cache a plain
+   ``run_cells`` reads (shared-key contract).
+"""
+
+import threading
+
+from repro.experiments.runner import cell, encode_result, run_cells
+from repro.svc import HttpQueue, JobStore, ServiceClient, Worker, make_server
+
+#: Every real execution (cache miss) lands here; the zero-steps
+#: assertions count it.
+_EXECUTIONS = []
+
+
+def _e2e_cell(a, b=1):
+    _EXECUTIONS.append((a, b))
+    return {"sum": a + b, "prod": a * b, "trace": [a, b, a + b]}
+
+
+FN = f"{__name__}:_e2e_cell"
+MATRIX = [{"a": a, "b": b} for a in range(1, 4) for b in range(3)]  # 9 cells
+
+
+def test_service_matches_serial_run_cells_and_dedups(tmp_path):
+    assert len(MATRIX) >= 8
+    cache_dir = str(tmp_path / "cache")
+
+    # --- the reference: serial, uncached, in-process ------------------
+    serial = run_cells([cell(FN, **kw) for kw in MATRIX],
+                       jobs=1, cache=False)
+    assert serial.executed == len(MATRIX)
+
+    # --- the service: 2 workers over HTTP -----------------------------
+    store = JobStore(str(tmp_path / "svc.db"))
+    httpd = make_server(store, port=0)
+    server_thread = threading.Thread(target=httpd.serve_forever,
+                                     daemon=True)
+    server_thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    client = ServiceClient(base)
+    try:
+        jobs = client.submit_cells(
+            [{"fn": FN, "kwargs": kw} for kw in MATRIX])
+        assert len(jobs) == len(MATRIX)
+
+        workers = [Worker(HttpQueue(base), cache_dir=cache_dir,
+                          lease=10.0, poll=0.05) for _ in range(2)]
+        threads = [threading.Thread(target=w.run, daemon=True)
+                   for w in workers]
+        for t in threads:
+            t.start()
+        final = client.wait([j["id"] for j in jobs], timeout=120.0)
+        for w in workers:
+            w.stop()
+        for t in threads:
+            t.join(timeout=30)
+
+        assert [j["state"] for j in final] == ["done"] * len(MATRIX)
+        # both workers actually participated
+        assert sum(w.jobs_done for w in workers) == len(MATRIX)
+
+        # guarantee 1: bit-identical to the serial reference
+        for job, expected in zip(final, serial.results):
+            got = client.result(job["key"])
+            assert encode_result(got) == encode_result(expected)
+
+        # guarantee 2: resubmitting performs zero simulation steps
+        executed_before = len(_EXECUTIONS)
+        again = client.submit_cells(
+            [{"fn": FN, "kwargs": kw} for kw in MATRIX])
+        assert all(j["state"] == "done" for j in again)
+        assert all(j["dedup"] for j in again)
+        assert all(j["cached"] for j in again)
+        assert len(_EXECUTIONS) == executed_before
+        for job, expected in zip(again, serial.results):
+            assert encode_result(client.result(job["key"])) \
+                == encode_result(expected)
+    finally:
+        httpd.shutdown()
+        server_thread.join(timeout=10)
+
+    # guarantee 3: the fleet warmed the same cache run_cells reads
+    executed_before = len(_EXECUTIONS)
+    warm = run_cells([cell(FN, **kw) for kw in MATRIX],
+                     jobs=1, cache=True, cache_dir=cache_dir)
+    assert warm.executed == 0
+    assert warm.cached == len(MATRIX)
+    assert len(_EXECUTIONS) == executed_before
+    for got, expected in zip(warm.results, serial.results):
+        assert encode_result(got) == encode_result(expected)
+
+
+def test_campaign_job_runs_through_the_fleet(tmp_path):
+    """A tiny chaos campaign rides the same queue as cells."""
+    store = JobStore(str(tmp_path / "svc.db"))
+    httpd = make_server(store, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    client = ServiceClient(base)
+    try:
+        job = client.submit_campaign({"seed": 7, "episodes": 2})
+        worker = Worker(HttpQueue(base), lease=60.0, poll=0.05,
+                        max_jobs=1)
+        assert worker.run() == 1
+        final = client.job(job["id"])
+        assert final["state"] == "done"
+        report = client.result(final["key"])
+        assert report["seed"] == 7
+        assert report["episodes_run"] == 2
+        assert "digest" in report
+        # identical resubmission dedups to the stored report
+        dup = client.submit_campaign({"seed": 7, "episodes": 2})
+        assert dup["dedup"] and dup["state"] == "done"
+    finally:
+        httpd.shutdown()
+        thread.join(timeout=10)

@@ -1,0 +1,358 @@
+"""JobStore: dedup, leasing, exactly-once results, crash recovery.
+
+The lease/attempt tests drive an injectable clock instead of sleeping;
+the two crash tests (`kill -9` mid-cell, `kill -9` mid-commit) use real
+subprocesses because nothing short of SIGKILL proves the recovery
+story.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.runner import decode_result, encode_result
+from repro.svc.store import JobStore
+from repro.svc.submissions import cell_submission
+from repro.svc.worker import DirectQueue, Worker
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+class Clock:
+    """Manually advanced time source for lease tests."""
+
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture()
+def store(tmp_path):
+    clock = Clock()
+    js = JobStore(str(tmp_path / "svc.db"), clock=clock)
+    js.test_clock = clock
+    return js
+
+
+def _submit(store, n=0, **over):
+    kind, spec, key = cell_submission(
+        "tests.fake:cell", {"n": n})
+    return store.submit(kind, spec, key, **over)
+
+
+# ------------------------------------------------------------- submission
+def test_submit_fresh_job_is_queued(store):
+    job = _submit(store)
+    assert job["state"] == "queued"
+    assert job["attempts"] == 0
+    assert not job["dedup"]
+    assert store.counts()["queued"] == 1
+
+
+def test_submit_duplicate_active_key_dedups_to_same_job(store):
+    first = _submit(store)
+    second = _submit(store)
+    assert second["id"] == first["id"]
+    assert second["dedup"]
+    assert store.counts()["queued"] == 1
+    # ...also while claimed
+    store.claim("w1", lease=30.0)
+    third = _submit(store)
+    assert third["id"] == first["id"] and third["dedup"]
+
+
+def test_submit_after_result_creates_born_done_job(store):
+    job = _submit(store)
+    claimed = store.claim("w1", lease=30.0)
+    store.complete(claimed["id"], "w1", encode_result(7))
+    again = _submit(store)
+    assert again["id"] != job["id"]
+    assert again["state"] == "done"
+    assert again["cached"] and again["dedup"]
+    assert store.result_count(job["key"]) == 1
+    assert decode_result(store.result(job["key"])) == 7
+
+
+def test_distinct_kwargs_are_distinct_jobs(store):
+    a = _submit(store, n=1)
+    b = _submit(store, n=2)
+    assert a["id"] != b["id"] and a["key"] != b["key"]
+
+
+# ---------------------------------------------------------------- leasing
+def test_claim_is_fifo_and_increments_attempts(store):
+    ids = [_submit(store, n=i)["id"] for i in range(3)]
+    got = [store.claim(f"w{i}", lease=30.0) for i in range(3)]
+    assert [j["id"] for j in got] == ids
+    assert all(j["attempts"] == 1 for j in got)
+    assert all(j["state"] == "claimed" for j in got)
+    assert store.claim("w9", lease=30.0) is None
+
+
+def test_lease_expiry_requeues_and_preserves_attempts(store):
+    job = _submit(store)
+    store.claim("w1", lease=10.0)
+    store.test_clock.t += 5.0
+    assert store.requeue_expired() == 0  # lease still live
+    store.test_clock.t += 6.0
+    assert store.requeue_expired() == 1
+    row = store.job(job["id"])
+    assert row["state"] == "queued"
+    assert row["worker"] is None
+    assert row["attempts"] == 1  # the burned claim stays counted
+
+
+def test_heartbeat_extends_lease(store):
+    job = _submit(store)
+    store.claim("w1", lease=10.0)
+    store.test_clock.t += 8.0
+    assert store.heartbeat("w1", job["id"], lease=10.0)
+    store.test_clock.t += 8.0  # past the original lease, inside the new
+    assert store.requeue_expired() == 0
+    assert store.job(job["id"])["state"] == "claimed"
+
+
+def test_heartbeat_by_nonowner_is_refused(store):
+    job = _submit(store)
+    store.claim("w1", lease=10.0)
+    assert not store.heartbeat("w2", job["id"], lease=10.0)
+
+
+def test_expiry_with_attempts_exhausted_fails_the_job(store):
+    job = _submit(store, max_attempts=2)
+    for _ in range(2):
+        store.claim("w1", lease=10.0)
+        store.test_clock.t += 11.0
+        store.requeue_expired()
+    row = store.job(job["id"])
+    assert row["state"] == "failed"
+    assert row["attempts"] == 2
+    assert "lease expired" in row["error"]
+
+
+def test_claim_requeues_expired_leases_inline(store):
+    job = _submit(store)
+    store.claim("w1", lease=10.0)
+    store.test_clock.t += 11.0
+    # no reaper ran; a second worker's claim recovers the orphan itself
+    got = store.claim("w2", lease=10.0)
+    assert got["id"] == job["id"]
+    assert got["worker"] == "w2"
+    assert got["attempts"] == 2
+
+
+# ------------------------------------------------------------- completion
+def test_complete_happy_path(store):
+    job = _submit(store)
+    store.claim("w1", lease=30.0)
+    assert store.complete(job["id"], "w1", encode_result(41)) == "done"
+    row = store.job(job["id"])
+    assert row["state"] == "done" and not row["cached"]
+    assert decode_result(store.result(job["key"])) == 41
+    assert store.workers()[0]["jobs_done"] == 1
+
+
+def test_zombie_completion_is_exactly_once(store):
+    """Requeued + re-claimed job: the zombie's late result is stale."""
+    job = _submit(store)
+    store.claim("w1", lease=10.0)
+    store.test_clock.t += 11.0
+    store.requeue_expired()
+    store.claim("w2", lease=30.0)
+    # w1 (presumed dead, actually alive) finishes late
+    assert store.complete(job["id"], "w1", encode_result(5)) == "stale"
+    assert store.result_count(job["key"]) == 1  # published exactly once
+    assert store.job(job["id"])["state"] == "claimed"  # still w2's
+    # w2 finishes; same key, result row not duplicated
+    assert store.complete(job["id"], "w2", encode_result(5)) == "done"
+    assert store.result_count(job["key"]) == 1
+
+
+def test_done_late_when_requeued_but_unclaimed(store):
+    job = _submit(store)
+    store.claim("w1", lease=10.0)
+    store.test_clock.t += 11.0
+    store.requeue_expired()
+    assert store.complete(job["id"], "w1", encode_result(9)) == "done-late"
+    assert store.job(job["id"])["state"] == "done"
+    assert store.result_count(job["key"]) == 1
+
+
+def test_fail_requeues_until_attempts_exhausted(store):
+    job = _submit(store, max_attempts=2)
+    store.claim("w1", lease=30.0)
+    assert store.fail(job["id"], "w1", "boom 1") == "requeued"
+    store.claim("w1", lease=30.0)
+    assert store.fail(job["id"], "w1", "boom 2") == "failed"
+    row = store.job(job["id"])
+    assert row["state"] == "failed" and row["error"] == "boom 2"
+    assert store.fail(job["id"], "w1", "boom 3") == "stale"
+
+
+# ---------------------------------------------------------------- queries
+def test_counts_and_claim_latency_cursor(store):
+    _submit(store, n=1)
+    _submit(store, n=2)
+    store.test_clock.t += 2.5
+    store.claim("w1", lease=30.0)
+    counts = store.counts()
+    assert counts["queued"] == 1 and counts["claimed"] == 1
+    lats, cursor = store.claim_latencies(0)
+    assert len(lats) == 1 and lats[0][1] == pytest.approx(2.5)
+    again, cursor2 = store.claim_latencies(cursor)
+    assert again == [] and cursor2 == cursor  # each claim observed once
+
+
+def test_worker_liveness_window(store):
+    store.claim("w1", lease=30.0)
+    assert store.workers(liveness_window=60.0)[0]["alive"]
+    store.test_clock.t += 120.0
+    assert not store.workers(liveness_window=60.0)[0]["alive"]
+
+
+def test_schedule_watermarks_persist(store, tmp_path):
+    assert store.schedule_last_run("nightly") is None
+    store.schedule_mark_run("nightly", 123.0, job_id=7)
+    assert store.schedule_last_run("nightly") == 123.0
+    reopened = JobStore(str(tmp_path / "svc.db"))
+    assert reopened.schedule_last_run("nightly") == 123.0
+
+
+# ------------------------------------------------------------ crash tests
+def _write_module(tmp_path, name, source):
+    path = tmp_path / f"{name}.py"
+    path.write_text(source, encoding="utf-8")
+    return name
+
+
+def test_sigkilled_worker_job_requeues_and_completes_once(tmp_path):
+    """The headline recovery story: kill -9 mid-cell loses nothing.
+
+    A subprocess worker claims the job and hangs inside the cell; we
+    SIGKILL it, wait out the lease, and a second (in-process) worker
+    completes the job — one result row, attempts == 2.
+    """
+    marker = tmp_path / "attempt1"
+    started = tmp_path / "started"
+    _write_module(tmp_path, "svc_crash_cell", f"""
+import os, time
+
+def slow(x):
+    if not os.path.exists({str(marker)!r}):
+        open({str(marker)!r}, "w").write("1")
+        open({str(started)!r}, "w").write("1")
+        time.sleep(600)  # killed long before this returns
+    return x * 2
+""")
+    db = str(tmp_path / "svc.db")
+    cache_dir = str(tmp_path / "cache")
+    store = JobStore(db)
+    kind, spec, key = cell_submission("svc_crash_cell:slow", {"x": 21})
+    job = store.submit(kind, spec, key)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([SRC, str(tmp_path)])
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.svc", "worker", "--db", db,
+         "--cache-dir", cache_dir, "--lease", "1", "--poll", "0.05",
+         "--quiet"],
+        env=env, cwd=str(tmp_path))
+    try:
+        deadline = time.time() + 30.0
+        while not started.exists():
+            assert time.time() < deadline, "worker never started the cell"
+            assert proc.poll() is None, "worker died before claiming"
+            time.sleep(0.05)
+        assert store.job(job["id"])["state"] == "claimed"
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    deadline = time.time() + 15.0
+    while store.job(job["id"])["state"] != "queued":
+        assert time.time() < deadline, "lease never expired"
+        store.requeue_expired()
+        time.sleep(0.1)
+    assert store.job(job["id"])["attempts"] == 1
+
+    sys.path.insert(0, str(tmp_path))
+    try:
+        worker = Worker(DirectQueue(store), cache_dir=cache_dir,
+                        lease=10.0, poll=0.05, max_jobs=1)
+        assert worker.run() == 1
+    finally:
+        sys.path.remove(str(tmp_path))
+
+    row = store.job(job["id"])
+    assert row["state"] == "done"
+    assert row["attempts"] == 2
+    assert store.result_count(key) == 1
+    assert decode_result(store.result(key)) == 42
+
+
+def test_sigkill_during_commit_rolls_back(tmp_path):
+    """kill -9 inside the completion transaction leaves no torn state.
+
+    The child pauses at the store's pre-commit hook; SIGKILL there
+    means the result insert and the job update both roll back, and the
+    job recovers through the normal lease path.
+    """
+    db = str(tmp_path / "svc.db")
+    ready = tmp_path / "ready"
+    store = JobStore(db)
+    kind, spec, key = cell_submission("tests.fake:cell", {"n": 0})
+    job = store.submit(kind, spec, key)
+
+    child = tmp_path / "child.py"
+    child.write_text(f"""
+import time
+from repro.svc.store import JobStore
+from repro.experiments.runner import encode_result
+
+store = JobStore({db!r})
+job = store.claim("w-doomed", lease=5.0)
+assert job is not None
+
+def hang():
+    open({str(ready)!r}, "w").write("1")
+    time.sleep(600)
+
+store._pre_commit = hang
+store.complete(job["id"], "w-doomed", encode_result(123))
+""", encoding="utf-8")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.Popen([sys.executable, str(child)], env=env)
+    try:
+        deadline = time.time() + 30.0
+        while not ready.exists():
+            assert time.time() < deadline, "child never reached commit"
+            assert proc.poll() is None, "child died early"
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    # The uncommitted transaction must be invisible: no result row, job
+    # still claimed by the dead worker.
+    assert store.result_count(key) == 0
+    row = store.job(job["id"])
+    assert row["state"] == "claimed" and row["worker"] == "w-doomed"
+
+    # Normal recovery: lease (5s) expires, another worker finishes it.
+    assert store.requeue_expired(now=time.time() + 6.0) == 1
+    claimed = store.claim("w-live", lease=30.0)
+    assert claimed["id"] == job["id"] and claimed["attempts"] == 2
+    assert store.complete(job["id"], "w-live", encode_result(123)) == "done"
+    assert store.result_count(key) == 1
+    assert decode_result(store.result(key)) == 123
