@@ -24,7 +24,7 @@ import sys
 import time
 from typing import Any, Dict, Optional
 
-from . import e2e, fig2_bench, gc_bench, microbench, obs_bench
+from . import e2e, fig2_bench, gc_bench, microbench, obs_bench, shard_bench
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -101,6 +101,9 @@ def run_suite(quick: bool = False, jobs: int = 4,
     print(f"  off {report['obs']['obs_off']['seconds']:.2f}s, "
           f"spans {report['obs']['obs_trace']['seconds']:.2f}s "
           f"(+{report['obs']['obs_trace']['overhead_pct']:.1f}%), "
+          f"sampled 1-in-{report['obs']['obs_sampled']['sample_n']} "
+          f"{report['obs']['obs_sampled']['seconds']:.2f}s "
+          f"(+{report['obs']['obs_sampled']['overhead_pct']:.1f}%), "
           f"spans+metrics {report['obs']['obs_full']['seconds']:.2f}s "
           f"(+{report['obs']['obs_full']['overhead_pct']:.1f}%)")
     print("== gc: FTL/GC model overhead (off vs on) ==", flush=True)
@@ -111,6 +114,23 @@ def run_suite(quick: bool = False, jobs: int = 4,
           f"(+{gc_on['overhead_pct']:.1f}%), "
           f"WA {gc_on['write_amplification']:.2f}, "
           f"erases {gc_on['erases']:.0f}")
+    print("== shards: partitioned-horizon engine (span slab + scaling) ==",
+          flush=True)
+    report["shards"] = shard_bench.run_all(quick=quick)
+    span_row = report["shards"]["span_alloc"]
+    print(f"  span alloc: unsampled {span_row['unsampled_ops_per_s']:>11,.0f}"
+          f" ops/s, 1-in-{span_row['sample_n']} sampled "
+          f"{span_row['sampled_ops_per_s']:>11,.0f} ops/s "
+          f"({span_row['sampled_speedup']:.2f}x)")
+    scale_row = report["shards"]["shard_scaling"]
+    print(f"  scaling ({scale_row['requests']} reqs, "
+          f"{scale_row['cpu_count']} CPUs): "
+          f"serial {scale_row['serial_seconds']:.2f}s, "
+          f"2 shards {scale_row['shard2_seconds']:.2f}s "
+          f"({scale_row['shard2_speedup']:.2f}x), "
+          f"4 shards {scale_row['shard4_seconds']:.2f}s "
+          f"({scale_row['shard4_speedup']:.2f}x), "
+          f"identical={scale_row['requests_identical']}")
     if not skip_fig2:
         print("== fig2: full sweep, serial vs pool ==", flush=True)
         report["fig2"] = fig2_bench.run_all(quick=quick, jobs=jobs)
@@ -165,6 +185,21 @@ def main(argv: Optional[list] = None) -> int:
     fig2_row = report.get("fig2", {}).get("fig2_sweep")
     if fig2_row is not None and not fig2_row["values_identical"]:
         print("FAIL: serial and parallel fig2 values differ", file=sys.stderr)
+        return 1
+    scale_row = report.get("shards", {}).get("shard_scaling")
+    if scale_row is not None and not scale_row["requests_identical"]:
+        print("FAIL: sharded runs moved different requests/bytes than "
+              "serial", file=sys.stderr)
+        return 1
+    # Speedup is a hardware claim: only enforce it where the hardware
+    # exists (quick sizes are coordination-dominated; small CI hosts
+    # timeshare the shard workers).
+    if (scale_row is not None and not args.quick
+            and (scale_row["cpu_count"] or 1) >= 4
+            and scale_row["shard4_speedup"] < 1.8):
+        print(f"FAIL: 4-shard speedup {scale_row['shard4_speedup']:.2f}x "
+              f"< 1.8x on a {scale_row['cpu_count']}-CPU host",
+              file=sys.stderr)
         return 1
 
     name = f"BENCH_{time.strftime('%Y%m%d')}.json"

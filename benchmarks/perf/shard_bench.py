@@ -1,0 +1,108 @@
+"""Partitioned-horizon engine benchmarks: shard scaling + span slab.
+
+Two tiers:
+
+* ``span_alloc`` — the observability hot path in isolation: spans
+  started/finished per second with ``sample_n=1`` (every span retained,
+  every span allocated) vs ``sample_n=4`` (1-in-4 traces retained;
+  dropped spans recycle through the tracer's freelist).  This is the
+  micro-measurable form of the Span-slab satellite: the sampled rate
+  should beat the unsampled one because three quarters of the spans
+  never allocate a dict and reuse slab objects.
+
+* ``shard_scaling`` — one fig2-style cluster at several shard counts
+  (serial / 2 / 4, ``shard_mode="process"``), wall-clock each, plus a
+  correctness cross-check that every shard count moves exactly the
+  serial run's requests and bytes.  Speedup expectations only hold on
+  hosts with enough cores — the suite records ``cpu_count`` and the
+  gate in ``run.py`` skips the assertion on small hosts (CI boxes are
+  often 1-2 vCPUs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+from repro.config import ClusterConfig
+from repro.obs.span import Tracer
+from repro.sim.parallel import run_sharded_workload
+from repro.units import KiB, MiB
+from repro.workloads.mpi_io_test import MpiIoTest
+
+
+# ------------------------------------------------------------------ micro
+def _span_rate(sample_n: int, spans: int) -> float:
+    """Spans started+finished per second through one Tracer."""
+    # Cap retention well below the span count so the retained path
+    # (append + sink) and the recycled path both run at steady state.
+    tracer = Tracer(max_spans=spans, sample_n=sample_n)
+    start = time.perf_counter()
+    t = 0.0
+    for trace_id in range(spans):
+        span = tracer.start("bench", "rpc", trace_id, t)
+        tracer.finish(span, t)
+        t += 1e-6
+    elapsed = time.perf_counter() - start
+    return spans / elapsed if elapsed > 0 else 0.0
+
+
+def span_alloc_bench(quick: bool = False) -> Dict[str, Any]:
+    spans = 50_000 if quick else 200_000
+    repeats = 2 if quick else 3
+    unsampled = max(_span_rate(1, spans) for _ in range(repeats))
+    sampled = max(_span_rate(4, spans) for _ in range(repeats))
+    return {
+        "spans": spans,
+        "unsampled_ops_per_s": unsampled,
+        "sampled_ops_per_s": sampled,
+        "sample_n": 4,
+        "sampled_speedup": sampled / unsampled if unsampled else 0.0,
+    }
+
+
+# ---------------------------------------------------------------- scaling
+def _scaling_workload(quick: bool) -> MpiIoTest:
+    # ~4x the fig2 cell size in the full tier: big enough that the
+    # per-window coordination cost amortizes over real event work.
+    file_size = (8 if quick else 64) * MiB
+    return MpiIoTest(nprocs=8, request_size=65 * KiB, file_size=file_size)
+
+
+def _timed_run(cfg: ClusterConfig, quick: bool):
+    workload = _scaling_workload(quick)
+    start = time.perf_counter()
+    result = run_sharded_workload(cfg, workload)
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def shard_scaling_bench(quick: bool = False) -> Dict[str, Any]:
+    base = ClusterConfig(num_servers=8, client_jitter=0.0)
+    serial_s, serial = _timed_run(base, quick)
+    row: Dict[str, Any] = {
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_s,
+        "requests": len(serial.requests),
+        "requests_identical": True,
+    }
+    serial_bytes = sum(r.nbytes for r in serial.requests)
+    for shards in (2, 4):
+        cfg = base.with_shards(shards, shard_mode="process")
+        elapsed, result = _timed_run(cfg, quick)
+        row[f"shard{shards}_seconds"] = elapsed
+        row[f"shard{shards}_speedup"] = (serial_s / elapsed
+                                         if elapsed > 0 else 0.0)
+        row[f"shard{shards}_windows"] = result.extra.get("shard_windows")
+        if (len(result.requests) != len(serial.requests)
+                or sum(r.nbytes for r in result.requests) != serial_bytes):
+            row["requests_identical"] = False
+    return row
+
+
+def run_all(quick: bool = False) -> Dict[str, Any]:
+    return {
+        "span_alloc": span_alloc_bench(quick=quick),
+        "shard_scaling": shard_scaling_bench(quick=quick),
+    }

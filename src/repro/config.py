@@ -386,6 +386,16 @@ class ObsConfig:
     #: flush is driven by span closures, not by a sim process, so it
     #: never perturbs event schedules.
     flush_spans: int = 256
+    #: 1-in-N root-trace sampling: only parent requests whose trace id
+    #: is divisible by N keep their span trees; the other N-1 traces
+    #: allocate recycled (slab) spans that are dropped at close.  The
+    #: decision is a pure function of the trace id, so it propagates
+    #: down the whole request tree (client → network → server → block
+    #: layer) without any extra wire state, and every *retained* trace
+    #: is complete — the critical-path analyzer's per-kind breakdowns
+    #: still sum exactly to root latency.  ``1`` (default) samples
+    #: everything and is bit-identical to the pre-sampling tracer.
+    trace_sample_n: int = 1
 
     def validate(self) -> None:
         if self.sample_period <= 0:
@@ -394,6 +404,8 @@ class ObsConfig:
             raise ConfigError("max_spans must be non-negative")
         if self.flush_spans < 0:
             raise ConfigError("flush_spans must be non-negative")
+        if self.trace_sample_n < 1:
+            raise ConfigError("trace_sample_n must be >= 1")
         if self.enabled and not (self.trace or self.metrics):
             raise ConfigError("obs enabled with neither trace nor metrics")
 
@@ -505,6 +517,30 @@ class ClusterConfig:
     primary_store: str = "hdd"
     seed: int = 20130520
 
+    # ---- partitioned-horizon parallel execution (repro.sim.parallel) --
+    #: Worker shards the cluster is partitioned over.  ``1`` (default)
+    #: is the serial engine, bit-identical to every run before this knob
+    #: existed.  ``> 1`` round-robins servers and client nodes across
+    #: shards, one :class:`~repro.sim.core.Environment` per shard,
+    #: synchronized with a conservative time-window protocol on the
+    #: network boundary (see DESIGN.md §14).  Sharded runs are
+    #: deterministic for a fixed ``(seed, shards)`` pair but are a
+    #: *different* (coarser) network model than serial: cross-shard
+    #: messages pay sender-side overhead + wire time locally and the
+    #: propagation latency as the inter-shard lookahead.
+    shards: int = 1
+    #: Synchronization lookahead in simulated seconds.  ``None`` uses
+    #: the safe value — the minimum configured link latency
+    #: (``network.latency``), below which no cross-shard message can be
+    #: delivered.  Larger values quantize cross-shard delivery times to
+    #: window boundaries (bounded, deterministic skew) in exchange for
+    #: fewer barriers; see docs/PERFORMANCE.md for the trade-off.
+    shard_lookahead: Optional[float] = None
+    #: "process" runs one worker process per shard (the point of the
+    #: exercise); "inline" steps every shard in this process — same
+    #: schedules, no parallelism — for tests and debugging.
+    shard_mode: str = "process"
+
     def validate(self) -> None:
         if self.num_servers < 1:
             raise ConfigError("need at least one data server")
@@ -518,6 +554,17 @@ class ClusterConfig:
             raise ConfigError("client_overhead must be non-negative")
         if self.client_jitter < 0:
             raise ConfigError("client_jitter must be non-negative")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.shard_mode not in ("process", "inline"):
+            raise ConfigError(f"unknown shard_mode {self.shard_mode!r}")
+        if self.shard_lookahead is not None and self.shard_lookahead <= 0:
+            raise ConfigError("shard_lookahead must be positive (or None)")
+        if self.shards > 1 and self.network.latency <= 0 \
+                and self.shard_lookahead is None:
+            raise ConfigError("shards > 1 needs a positive network latency "
+                              "(or an explicit shard_lookahead) for the "
+                              "synchronization lookahead")
         self.hdd.validate()
         self.ssd.validate()
         self.hdd_scheduler.validate()
@@ -554,6 +601,13 @@ class ClusterConfig:
         """Copy of this config with observability enabled (+ overrides)."""
         obs = dataclasses.replace(self.obs, enabled=True, **overrides)
         return dataclasses.replace(self, obs=obs)
+
+    def with_shards(self, shards: int, **overrides) -> "ClusterConfig":
+        """Copy of this config partitioned over ``shards`` workers
+        (plus ``shard_lookahead``/``shard_mode`` overrides)."""
+        cfg = dataclasses.replace(self, shards=shards, **overrides)
+        cfg.validate()
+        return cfg
 
     def without_ibridge(self) -> "ClusterConfig":
         """Copy of this config with iBridge disabled (the stock system)."""

@@ -21,7 +21,8 @@ from typing import List, Optional
 
 from ..config import AuditConfig, ObsConfig
 from .common import (DEFAULT_SCALE, set_default_audit, set_default_fault_plan,
-                     set_default_obs)
+                     set_default_obs, set_default_shards,
+                     warn_if_oversubscribed)
 from .registry import EXPERIMENTS, get
 from .runner import default_cache_dir, set_sweep_defaults
 
@@ -111,6 +112,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker processes for the experiment matrix "
                              "(default 1 = in-process; results are "
                              "bit-identical at any N)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="partition every cluster into N shards run "
+                             "by the parallel DES engine (default 1 = "
+                             "serial, bit-identical to the classic "
+                             "engine; incompatible with --fault-plan)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the on-disk result "
                              "cache; every cell simulates from scratch")
@@ -155,6 +161,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.shards > 1 and args.fault_plan:
+        parser.error("--shards and --fault-plan are mutually exclusive "
+                     "(fault targeting is defined on the serial engine)")
+    set_default_shards(args.shards)
+    # One warning, not one per cell: oversubscribing jobs x shards past
+    # the machine's cores only adds context-switch overhead.
+    warn_if_oversubscribed(jobs=args.jobs, shards=args.shards)
 
     if args.fault_plan:
         from ..faults import FaultPlan

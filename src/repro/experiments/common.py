@@ -102,6 +102,49 @@ def set_default_obs(obs: Optional[ObsConfig]) -> None:
     _DEFAULT_OBS = obs
 
 
+#: Process-wide shard-count default applied by :func:`base_config` — set
+#: by the CLI's ``--shards`` flag so every experiment cluster is
+#: partitioned without per-experiment plumbing.  Like audit/obs it is
+#: part of the runner's cache-key context (``shards=1`` is bit-identical
+#: to serial, but >1 changes the engine and must never share cache rows
+#: with serial results).
+_DEFAULT_SHARDS: int = 1
+
+
+def set_default_shards(shards: int) -> None:
+    """Install the shard count experiments use (1 restores serial)."""
+    global _DEFAULT_SHARDS
+    _DEFAULT_SHARDS = max(1, int(shards))
+
+
+def default_shards() -> int:
+    return _DEFAULT_SHARDS
+
+
+#: Warn-once latch for :func:`warn_if_oversubscribed`.
+_oversubscribed_warned = False
+
+
+def warn_if_oversubscribed(jobs: int = 1, shards: int = 1) -> bool:
+    """Warn (once per process) when the requested parallelism exceeds
+    the machine: ``jobs * shards`` worker processes beyond
+    ``os.cpu_count()`` only add context-switch overhead.  Returns True
+    if the warning fired."""
+    global _oversubscribed_warned
+    import os
+    import warnings
+    cpus = os.cpu_count() or 1
+    want = max(1, jobs) * max(1, shards)
+    if want <= cpus or _oversubscribed_warned:
+        return False
+    _oversubscribed_warned = True
+    warnings.warn(
+        f"requested {want} workers (jobs={jobs} x shards={shards}) on a "
+        f"{cpus}-CPU host; runs will timeshare rather than speed up",
+        RuntimeWarning, stacklevel=2)
+    return True
+
+
 def base_config(num_servers: int = 8, ibridge: bool = False,
                 **overrides) -> ClusterConfig:
     """The paper's testbed configuration (Section III-A)."""
@@ -109,6 +152,8 @@ def base_config(num_servers: int = 8, ibridge: bool = False,
         overrides["audit"] = _DEFAULT_AUDIT
     if _DEFAULT_OBS is not None and "obs" not in overrides:
         overrides["obs"] = _DEFAULT_OBS
+    if _DEFAULT_SHARDS != 1 and "shards" not in overrides:
+        overrides["shards"] = _DEFAULT_SHARDS
     cfg = ClusterConfig(num_servers=num_servers, **overrides)
     if ibridge:
         cfg = cfg.with_ibridge()
@@ -129,17 +174,57 @@ def scaled_ibridge(cfg: ClusterConfig, scale: float,
 
 
 def measure(cfg: ClusterConfig, workload: Workload, warm_runs: int = 0,
-            trace_disk: bool = False, fault_plan=None):
+            trace_disk: bool = False, fault_plan=None,
+            need_cluster: bool = False):
     """Build a fresh cluster, run the workload, return (result, cluster).
 
     ``fault_plan`` (or, when omitted, the process-wide default installed
     by :func:`set_default_fault_plan`) runs the workload under injected
     faults; the result then carries the fault/recovery telemetry.
+
+    ``cfg.shards > 1`` routes the run through the partitioned-horizon
+    engine (:func:`repro.sim.parallel.run_sharded_workload`); the
+    returned cluster is then ``None`` (each shard's cluster lives and
+    dies in its worker).  Callers that inspect the cluster afterwards
+    pass ``need_cluster=True`` (``trace_disk`` implies it) and get the
+    serial engine with a one-time warning.  Fault plans and sharding
+    are mutually exclusive (:class:`~repro.errors.ConfigError`).
     """
     plan = fault_plan if fault_plan is not None else _DEFAULT_FAULT_PLAN
+    if cfg.shards > 1:
+        if plan is not None and len(plan):
+            from ..errors import ConfigError
+            raise ConfigError(
+                "fault plans are not supported with shards > 1 "
+                "(run with shards=1)")
+        if trace_disk or need_cluster:
+            # The caller needs the finished cluster object (block
+            # tracers, audit runtime, ...); the sharded engine discards
+            # its per-shard clusters, so fall back to the serial engine.
+            _warn_serial_fallback()
+        else:
+            from ..sim.parallel import run_sharded_workload
+            result = run_sharded_workload(cfg, workload,
+                                          warm_runs=warm_runs)
+            return result, None
     cluster = Cluster(cfg, trace_disk=trace_disk, fault_plan=plan)
     result = run_workload(cluster, workload, warm_runs=warm_runs)
     return result, cluster
+
+
+_serial_fallback_warned = False
+
+
+def _warn_serial_fallback() -> None:
+    global _serial_fallback_warned
+    if _serial_fallback_warned:
+        return
+    _serial_fallback_warned = True
+    import warnings
+    warnings.warn(
+        "this experiment needs the finished cluster object; running it "
+        "on the serial engine despite shards > 1",
+        RuntimeWarning, stacklevel=3)
 
 
 def stock_vs_ibridge(make_workload: Callable[[], Workload], scale: float,

@@ -128,6 +128,48 @@ class Network:
                          name=f"net:{src}->{dst}")
         return done
 
+    def send_local_leg(self, src: str, dst: str, nbytes: int = 0) -> Event:
+        """The *sender-side half* of a cross-shard message.
+
+        Used by :mod:`repro.sim.parallel` when ``dst`` lives on another
+        shard: the message pays its software overhead, fault effects,
+        and egress wire time here, and the returned event fires at the
+        local *departure* instant with value ``True`` (or ``False`` if a
+        drop-fault window ate the message — the record must then not be
+        posted to the mailbox).  The propagation latency is paid on the
+        receiving shard (arrival = departure + latency); the remote
+        ingress NIC is not modelled — the documented fidelity loss of
+        the sharded network boundary (DESIGN.md §14).
+        """
+        done = self.env.event()
+        self.env.process(self._local_leg(src, dst, int(nbytes), done),
+                         name=f"net:{src}=>{dst}")
+        return done
+
+    def _local_leg(self, src: str, dst: str, nbytes: int, done: Event):
+        env = self.env
+        cfg = self.config
+        yield env.timeout(cfg.message_overhead)
+        if self._faults:
+            extra_delay, dropped = self._fault_effects(src, dst)
+            if dropped:
+                self.stats.dropped += 1
+                done.succeed(False)
+                return
+            if extra_delay > 0.0:
+                self.stats.fault_delay_time += extra_delay
+                yield env.timeout(extra_delay)
+        wire = nbytes / cfg.bandwidth
+        if nbytes > 0:
+            eg = self._nic(self._egress, src).request()
+            yield eg
+            yield env.timeout(wire)
+            self._nic(self._egress, src).release(eg)
+        self.stats.messages += 1
+        self.stats.bytes += nbytes
+        self.stats.wire_time += wire
+        done.succeed(True)
+
     def _transfer(self, src: str, dst: str, nbytes: int, done: Event,
                   span=None):
         env = self.env

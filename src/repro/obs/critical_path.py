@@ -93,13 +93,18 @@ def build_trees(spans: Sequence[Span]) -> Dict[int, TraceTree]:
         by_trace.setdefault(span.trace_id, []).append(span)
     trees: Dict[int, TraceTree] = {}
     for trace_id, group in by_trace.items():
-        ids = {s.span_id for s in group}
-        roots = [s for s in group
-                 if s.parent_id is None or s.parent_id not in ids]
-        true_roots = [s for s in roots if s.parent_id is None]
-        if len(true_roots) != 1:
+        ids = set()
+        root = None
+        multiple_roots = False
+        for s in group:
+            ids.add(s.span_id)
+            if s.parent_id is None:
+                if root is None:
+                    root = s
+                else:
+                    multiple_roots = True
+        if root is None or multiple_roots:
             continue
-        root = true_roots[0]
         children: Dict[int, List[Span]] = {}
         for span in group:
             if span is root or span.parent_id not in ids:
@@ -124,14 +129,25 @@ def _walk(tree: TraceTree, span: Span, lo: float, hi: float,
     cur = hi
     kids = tree.child_spans(span)
     while cur - lo > EPS:
-        cands = [c for c in kids
-                 if c.end is not None and c.end <= cur + EPS
-                 and c.end > lo + EPS and c.start < cur - EPS]
-        if not cands:
+        # Single pass for the gating child: the candidate with the
+        # greatest (end, start, span_id).  Equivalent to building the
+        # candidate list and taking max(), minus the allocations —
+        # this walk runs over every retained trace at the end of every
+        # traced run, so it is part of the tracing overhead budget.
+        gate = None
+        for c in kids:
+            end = c.end
+            if (end is None or end > cur + EPS or end <= lo + EPS
+                    or c.start >= cur - EPS):
+                continue
+            if gate is None or \
+                    (end, c.start, c.span_id) > (gate.end, gate.start,
+                                                 gate.span_id):
+                gate = c
+        if gate is None:
             breakdown[span.kind] = breakdown.get(span.kind, 0.0) + (cur - lo)
             path.append(PathSegment(span.name, span.kind, lo, cur))
             return
-        gate = max(cands, key=lambda c: (c.end, c.start, c.span_id))
         top = min(gate.end, cur)
         if cur - top > EPS:
             breakdown[span.kind] = breakdown.get(span.kind, 0.0) + (cur - top)

@@ -44,7 +44,8 @@ class ObsRuntime:
         self.env = env
         self.config = config
         self.tracer: Optional[Tracer] = (
-            Tracer(max_spans=config.max_spans) if config.trace else None)
+            Tracer(max_spans=config.max_spans,
+                   sample_n=config.trace_sample_n) if config.trace else None)
         self.registry: Optional[MetricsRegistry] = (
             MetricsRegistry() if config.metrics else None)
         self._finished = False
@@ -70,6 +71,8 @@ class ObsRuntime:
         if tracer is not None and cluster.audit is not None:
             self.attach_event_trace(cluster.audit.trace)
         for server in cluster.servers:
+            if getattr(server, "is_remote", False):
+                continue  # stub relays have no queues/devices to wire
             server.obs = tracer
             self._wire_queue(server.ssd_queue, server.id, "ssd")
             for d, unit in enumerate(server.disks):

@@ -109,10 +109,13 @@ class PFSClient:
         obs = self.obs
         root = None
         if obs is not None:
-            root = obs.start("request", "client", parent.id, env.now,
-                             op=parent.op.value, nbytes=parent.nbytes,
-                             offset=parent.offset, rank=parent.rank,
-                             client=self.id)
+            # root() returns None for traces outside the 1-in-N sample;
+            # every child site guards on its parent span, so a None
+            # root prunes the whole tree at the cost of one modulo.
+            root = obs.root("request", "client", parent.id, env.now,
+                            op=parent.op.value, nbytes=parent.nbytes,
+                            offset=parent.offset, rank=parent.rank,
+                            client=self.id)
         try:
             # Per-request OS/runtime noise; this is what makes concurrent
             # ranks drift out of phase (see ClusterConfig.client_jitter).
@@ -175,6 +178,13 @@ class PFSClient:
         finished = env.event()
 
         def attempt(attempt_done: Event):
+            if server.is_remote:
+                # Sharded run, server owned by another shard: the stub
+                # plays the sender leg and posts to the shard mailbox;
+                # the reply record (delivered at a window barrier)
+                # succeeds ``attempt_done`` directly.
+                yield from server.round_trip(self, sub, attempt_done)
+                return
             req_payload = sub.nbytes if sub.op is Op.WRITE else 0
             yield self.network.send(self.name, server.name, req_payload,
                                     obs_parent=sub.span)

@@ -1,0 +1,717 @@
+"""Partitioned-horizon parallel DES: shard one cluster across workers.
+
+One big simulated cluster is partitioned round-robin into ``shards``
+pieces — server ``i`` lives on shard ``i % nshards``, client node ``c``
+on shard ``c % nshards`` — and each shard runs its own
+:class:`~repro.sim.core.Environment` (its own event heap, clock, RNG
+streams and telemetry).  The shards advance in lock-step through
+*conservative time windows* (Chandy–Misra style, window-barrier
+variant):
+
+1. every shard reports the time of its next pending event;
+2. the coordinator sets the window end ``T = min(next events, pending
+   cross-shard arrivals) + L`` where the lookahead ``L`` is the
+   cross-shard message latency (``ClusterConfig.shard_lookahead``,
+   default ``network.latency``);
+3. each shard runs ``env.run(until=T)`` and collects the cross-shard
+   messages that *departed* during the window into an outbox;
+4. the coordinator routes the outboxes and delivers each record to its
+   destination shard at ``arrival = departure + L``.
+
+Safety: the earliest event any shard processes inside a window is at
+``T - L`` (step 2), so every cross-shard departure ``d`` satisfies
+``d >= T - L`` and its arrival ``d + L >= T`` — never in the receiver's
+past.  Progress: ``L > 0`` makes each window strictly advance the
+clock, and idle shards jump straight to the cluster-wide next event
+(windows are *not* fixed-width).  See DESIGN.md §14 for the proof and
+the fidelity deviations of the sharded network boundary.
+
+Cross-shard traffic is exactly the client↔server RPC of
+:mod:`repro.pfs`: a client whose target server lives elsewhere talks to
+a :class:`~repro.pfs.remote.RemoteServerStub`, which plays the sender
+leg of the request message locally and posts a pickled, span-stripped
+:class:`~repro.pfs.messages.SubRequest` to the shard outbox; the owning
+shard replays arrival → ``server.submit`` → service → reply leg and
+posts a reply record that completes the client's (shared, late-reply
+safe) attempt event.
+
+Determinism: for a fixed ``(seed, shards)`` the partition, the window
+schedule, the per-destination record order (sorted by departure time,
+source shard, sequence number) and every per-shard heap order are all
+deterministic, so sharded runs are exactly repeatable.  ``shards=1``
+short-circuits to the serial :func:`repro.workloads.base.run_workload`
+path and is therefore *bit-identical* to an unsharded run.  Request id
+spaces are partitioned (shard ``k`` draws ids from ``k * 10**9 + 1``)
+so merged request lists never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import multiprocessing
+import pickle
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AuditError, SimulationError, WorkloadError
+
+#: Each shard draws request ids from its own block so merged ledgers and
+#: request lists never collide (10**9 ids per shard is far beyond any
+#: run; the serial path keeps the ordinary shared counter).
+ID_STRIDE = 10 ** 9
+
+_INF = float("inf")
+
+
+# --------------------------------------------------------------------------
+# Shard context: partition map + cross-shard mailbox
+# --------------------------------------------------------------------------
+class ShardContext:
+    """Partition ownership and the outgoing cross-shard mailbox.
+
+    Passed to :class:`~repro.pfs.cluster.Cluster` as ``shard=``; the
+    cluster builds :class:`~repro.pfs.remote.RemoteServerStub` objects
+    for the servers this shard does not own, and the stubs post their
+    wire records here.  The worker drains :attr:`outbox` at every
+    window barrier.
+    """
+
+    def __init__(self, shard_id: int, nshards: int) -> None:
+        self.shard_id = shard_id
+        self.nshards = nshards
+        #: Bound to the shard cluster's environment after construction.
+        self.env = None
+        #: Records departing this window: see the tuple formats below.
+        self.outbox: List[tuple] = []
+        #: token -> (attempt_done event, original SubRequest) for
+        #: requests awaiting a remote reply.
+        self.waiters: Dict[int, tuple] = {}
+        self._tokens = itertools.count(1)
+        #: Per-shard record sequence — the deterministic tie-breaker for
+        #: same-instant departures at the coordinator's routing sort.
+        self._seq = itertools.count(1)
+
+    # ----------------------------------------------------------- ownership
+    def owns_server(self, server_id: int) -> bool:
+        return server_id % self.nshards == self.shard_id
+
+    def owns_client(self, node_id: int) -> bool:
+        return node_id % self.nshards == self.shard_id
+
+    def shard_of_server(self, server_id: int) -> int:
+        return server_id % self.nshards
+
+    # ------------------------------------------------------------ mailbox
+    # Record wire formats (plain picklable tuples):
+    #   ("req", dst_shard, depart, src_shard, seq,
+    #    token, server_id, client_name, wire_sub_pickle)
+    #   ("rep", dst_shard, depart, src_shard, seq, token)
+    def post_request(self, stub, client_name: str, wire_sub,
+                     attempt_done, original_sub) -> None:
+        """Queue one request record; the reply will complete
+        ``attempt_done`` with ``original_sub`` as its value."""
+        token = next(self._tokens)
+        self.waiters[token] = (attempt_done, original_sub)
+        self.outbox.append((
+            "req", self.shard_of_server(stub.id), self.env.now,
+            self.shard_id, next(self._seq),
+            token, stub.id, client_name, pickle.dumps(wire_sub)))
+
+    def post_reply(self, dst_shard: int, token: int) -> None:
+        """Queue one reply record back to the requesting shard."""
+        self.outbox.append((
+            "rep", dst_shard, self.env.now, self.shard_id,
+            next(self._seq), token))
+
+    def take_outbox(self) -> List[tuple]:
+        out = self.outbox
+        self.outbox = []
+        return out
+
+
+# --------------------------------------------------------------------------
+# The per-shard MPI run: launch only locally-owned ranks
+# --------------------------------------------------------------------------
+class _ForbiddenBarrier:
+    """Barriers need every rank; a shard only has some of them."""
+
+    def wait(self):
+        raise WorkloadError(
+            "MPI barriers are not supported with shards > 1: the barrier "
+            "group spans shards (run this workload with shards=1)")
+
+
+def _shard_run_cls():
+    # Deferred import: repro.pfs imports repro.sim's package __init__,
+    # so this module must not import repro.mpi/pfs at its own import
+    # time from inside the repro.sim package namespace setup.
+    from ..mpi.runtime import MPIRun, RankContext
+
+    class _ShardRun(MPIRun):
+        """One mpiexec job restricted to this shard's client nodes.
+
+        Rank ``r`` runs on client node ``r % client_nodes``; the shard
+        launches exactly the ranks whose node it owns.  Rank numbering,
+        per-rank bodies and per-client RNG streams are unchanged, so
+        the union over shards is the serial rank population.
+        """
+
+        def __init__(self, cluster, nprocs, client_nodes, shard):
+            super().__init__(cluster, nprocs, client_nodes=client_nodes)
+            self._shard = shard
+            self.barrier = _ForbiddenBarrier()
+
+        @property
+        def collective(self):
+            raise WorkloadError(
+                "collective I/O is not supported with shards > 1: the "
+                "two-phase exchange spans shards (run with shards=1)")
+
+        def launch(self, body):
+            env = self.cluster.env
+            self._rank_procs = [
+                env.process(body(RankContext(self, rank)),
+                            name=f"rank{rank}")
+                for rank in range(self.nprocs)
+                if self._shard.owns_client(rank % self.client_nodes)
+            ]
+            return env.all_of(self._rank_procs)
+
+    return _ShardRun
+
+
+# --------------------------------------------------------------------------
+# The shard worker: one environment + cluster + window protocol endpoint
+# --------------------------------------------------------------------------
+def _shard_config(cfg, shard_id: int):
+    """Give per-shard suffixes to every configured telemetry path so
+    concurrent shard workers never interleave writes in one file."""
+    changes = {}
+    obs_changes = {}
+    for name in ("trace_path", "metrics_path", "metrics_text_path"):
+        path = getattr(cfg.obs, name, None)
+        if path:
+            obs_changes[name] = f"{path}.shard{shard_id}"
+    if obs_changes:
+        changes["obs"] = dataclasses.replace(cfg.obs, **obs_changes)
+    if getattr(cfg.audit, "trace_path", None):
+        changes["audit"] = dataclasses.replace(
+            cfg.audit, trace_path=f"{cfg.audit.trace_path}.shard{shard_id}")
+    return dataclasses.replace(cfg, **changes) if changes else cfg
+
+
+class ShardWorker:
+    """Owns one shard: its cluster, its clock, its mailbox endpoint.
+
+    Driven by the coordinator through a small RPC surface (`setup`,
+    `launch`, `window`, `drain`, `sync`, `reset`, `mark_start`,
+    `finalize`) that works identically in-process (``shard_mode=
+    "inline"``) and across a pipe to a forked worker (``"process"``).
+    Every return value is a plain picklable object.
+    """
+
+    def __init__(self, cfg, workload_pickle: bytes, shard_id: int,
+                 nshards: int, lookahead: float) -> None:
+        self.cfg = _shard_config(cfg, shard_id)
+        self.workload = pickle.loads(workload_pickle)
+        self.shard_id = shard_id
+        self.nshards = nshards
+        self.lookahead = lookahead
+        self.ctx = ShardContext(shard_id, nshards)
+        self.cluster = None
+        self._run = None
+        self._done = None
+        self._start = 0.0
+        self._base_read = 0
+        self._base_written = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def setup(self) -> int:
+        from ..pfs.cluster import Cluster
+        self.cluster = Cluster(self.cfg, shard=self.ctx)
+        self.ctx.env = self.cluster.env
+        self.workload.prepare(self.cluster)
+        return self.shard_id
+
+    def launch(self) -> Tuple[float, bool]:
+        """Start this shard's ranks; returns (next event time, done?)."""
+        wl = self.workload
+        run_cls = _shard_run_cls()
+        self._run = run_cls(self.cluster, wl.nprocs,
+                            wl.client_nodes or wl.nprocs, self.ctx)
+        self._done = self._run.launch(wl.body)
+        return self.cluster.env.peek(), self._done.triggered
+
+    # -------------------------------------------------------------- window
+    def window(self, t_end: float,
+               records: List[tuple]) -> Tuple[List[tuple], float, bool]:
+        """Deliver ``records``, run until ``t_end``, drain the outbox.
+
+        Returns ``(outbox, next_event_time, ranks_done)``.  Records
+        whose arrival falls beyond ``t_end`` stay queued in the local
+        heap (their timeout simply fires in a later window) — the
+        returned ``next_event_time`` accounts for them via ``peek``.
+        """
+        env = self.cluster.env
+        for rec in records:
+            arrival = rec[2] + self.lookahead
+            if rec[0] == "req":
+                token, server_id, client_name, wire = rec[5:9]
+                sub = pickle.loads(wire)
+                env.process(
+                    self._serve_remote(arrival, rec[3], token,
+                                       server_id, client_name, sub),
+                    name=f"xshard-req:{rec[3]}:{token}")
+            else:
+                env.process(self._deliver_reply(arrival, rec[5]),
+                            name=f"xshard-rep:{rec[3]}:{rec[5]}")
+        env.run(until=t_end)
+        return (self.ctx.take_outbox(), env.peek(),
+                self._done is not None and self._done.triggered)
+
+    def _serve_remote(self, arrival: float, src_shard: int, token: int,
+                      server_id: int, client_name: str, sub):
+        """Replay the server-side middle of a cross-shard round trip."""
+        from ..devices.base import Op
+        env = self.cluster.env
+        delay = arrival - env.now
+        if delay > 0.0:
+            yield env.timeout(delay)
+        server = self.cluster.servers[server_id]
+        yield server.submit(sub)
+        resp_payload = sub.nbytes if sub.op is Op.READ else 0
+        ok = yield self.cluster.network.send_local_leg(
+            server.name, client_name, resp_payload)
+        if ok:
+            self.ctx.post_reply(src_shard, token)
+
+    def _deliver_reply(self, arrival: float, token: int):
+        env = self.cluster.env
+        delay = arrival - env.now
+        if delay > 0.0:
+            yield env.timeout(delay)
+        waiter = self.ctx.waiters.pop(token, None)
+        if waiter is not None:
+            attempt_done, original_sub = waiter
+            # Shared attempt event: a late reply to an earlier attempt
+            # may race a retry's — first one wins, the rest are no-ops.
+            if not attempt_done.triggered:
+                attempt_done.succeed(original_sub)
+
+    # -------------------------------------------------------- pass control
+    def drain(self) -> float:
+        self.cluster.drain()
+        return self.cluster.env.now
+
+    def sync(self, t: float) -> float:
+        """Advance the local clock to the cluster-wide time ``t``.
+
+        Used after per-shard drains (which advance clocks unevenly) so
+        the next pass's cross-shard departures share one time base.  No
+        rank is active during a sync, so the outbox must stay empty.
+        """
+        env = self.cluster.env
+        if t > env.now or env.peek() <= t:
+            env.run(until=t)
+        if self.ctx.outbox:
+            raise SimulationError(
+                f"shard {self.shard_id}: cross-shard traffic during "
+                "clock sync (rank still active after its pass ended)")
+        return env.now
+
+    def reset(self) -> None:
+        from ..workloads.base import _reset_measurement_state
+        _reset_measurement_state(self.cluster)
+
+    def mark_start(self) -> float:
+        """Begin the measured pass: align telemetry, snapshot baselines."""
+        cl = self.cluster
+        if cl.obs is not None and cl.obs.registry is not None:
+            cl.obs.registry.sample(cl.env.now)
+        self._start = cl.env.now
+        # Server byte counters accumulate across warm passes (the serial
+        # reset deliberately keeps them), so the cross-shard conservation
+        # ledger diffs against baselines taken here.
+        self._base_read = sum(s.stats.bytes_read for s in cl.servers
+                              if not s.is_remote)
+        self._base_written = sum(s.stats.bytes_written for s in cl.servers
+                                 if not s.is_remote)
+        return self._start
+
+    # ------------------------------------------------------------- results
+    def finalize(self) -> Dict:
+        """Close out the run; return this shard's picklable summary."""
+        from ..devices.base import Op
+        cl = self.cluster
+        summary: Dict = {
+            "shard": self.shard_id,
+            "makespan": cl.env.now - self._start,
+            "now": cl.env.now,
+            "requests": list(cl.requests),
+            "timeouts": sum(c.timeouts for c in cl._clients.values()),
+            "ibridge": None,
+            "obs": None,
+            "audit": None if cl.audit is None else cl.audit.verdict(),
+            "delta_read": sum(s.stats.bytes_read for s in cl.servers
+                              if not s.is_remote) - self._base_read,
+            "delta_written": sum(s.stats.bytes_written for s in cl.servers
+                                 if not s.is_remote) - self._base_written,
+            "req_read_bytes": sum(
+                p.nbytes for p in cl.requests
+                if p.complete_time is not None
+                and p.submit_time >= self._start and p.op is Op.READ),
+            "req_write_bytes": sum(
+                p.nbytes for p in cl.requests
+                if p.complete_time is not None
+                and p.submit_time >= self._start and p.op is Op.WRITE),
+        }
+        stats = cl.ibridge_stats()
+        if stats is not None:
+            summary["ibridge"] = dict(vars(stats))
+        if cl.obs is not None:
+            cl.obs.finish_run()
+            if cl.obs.tracer is not None:
+                report = cl.obs.analyze()
+                summary["obs"] = {
+                    "spans": len(cl.obs.tracer.spans),
+                    "traces": report.count,
+                    "mean_magnification": report.mean_magnification,
+                    "unsampled": cl.obs.tracer.unsampled,
+                }
+        cl.shutdown()
+        return summary
+
+
+# --------------------------------------------------------------------------
+# Drivers: inline (same process) and forked worker processes
+# --------------------------------------------------------------------------
+class _InlineDriver:
+    """All shards in this process; request-id counter swapped per call.
+
+    The id partition that a forked worker installs once must be
+    emulated here: every worker call runs with its shard's private
+    ``itertools.count`` installed as ``repro.pfs.messages._request_ids``
+    and the caller's counter restored afterwards, so interleaved serial
+    runs in the same process stay bit-identical.
+    """
+
+    def __init__(self, specs: List[Dict]) -> None:
+        self._counters = [itertools.count(s["shard_id"] * ID_STRIDE + 1)
+                          for s in specs]
+        self.workers = [ShardWorker(**s) for s in specs]
+
+    def _call(self, i: int, method: str, args: tuple):
+        from ..pfs import messages
+        saved = messages._request_ids
+        messages._request_ids = self._counters[i]
+        try:
+            return getattr(self.workers[i], method)(*args)
+        finally:
+            messages._request_ids = saved
+
+    def call_all(self, method: str,
+                 args_list: Optional[List[tuple]] = None) -> List:
+        return [self._call(i, method,
+                           args_list[i] if args_list is not None else ())
+                for i in range(len(self.workers))]
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, spec: Dict) -> None:
+    """Forked worker body: install the shard id block, serve RPCs."""
+    from ..pfs import messages
+    messages._request_ids = itertools.count(
+        spec["shard_id"] * ID_STRIDE + 1)
+    worker = ShardWorker(**spec)
+    while True:
+        try:
+            method, args = conn.recv()
+        except EOFError:
+            break
+        if method == "_stop":
+            break
+        try:
+            result = getattr(worker, method)(*args)
+        except BaseException as exc:  # noqa: BLE001 - forwarded verbatim
+            try:
+                conn.send(("err", exc))
+            except Exception:
+                conn.send(("err", SimulationError(
+                    f"shard {spec['shard_id']}: {type(exc).__name__}: {exc}")))
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+class _ProcessDriver:
+    """One OS process per shard, command/response over a pipe."""
+
+    def __init__(self, specs: List[Dict]) -> None:
+        self._procs = []
+        self._conns = []
+        for spec in specs:
+            parent_conn, child_conn = multiprocessing.Pipe()
+            proc = multiprocessing.Process(
+                target=_worker_main, args=(child_conn, spec), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def call_all(self, method: str,
+                 args_list: Optional[List[tuple]] = None) -> List:
+        for i, conn in enumerate(self._conns):
+            conn.send((method,
+                       args_list[i] if args_list is not None else ()))
+        results = []
+        error: Optional[BaseException] = None
+        for i, conn in enumerate(self._conns):
+            try:
+                status, value = conn.recv()
+            except EOFError:
+                status, value = "err", SimulationError(
+                    f"shard worker {i} died (pipe closed) during {method!r}")
+            if status == "err" and error is None:
+                error = (value if isinstance(value, BaseException)
+                         else SimulationError(str(value)))
+            results.append(value if status == "ok" else None)
+        if error is not None:
+            raise error
+        return results
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("_stop", ()))
+            except Exception:
+                pass
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+
+
+# --------------------------------------------------------------------------
+# Coordinator
+# --------------------------------------------------------------------------
+def _route(outboxes: List[List[tuple]], nshards: int) -> List[List[tuple]]:
+    """Bucket records by destination shard, deterministically ordered."""
+    buckets: List[List[tuple]] = [[] for _ in range(nshards)]
+    for records in outboxes:
+        for rec in records:
+            buckets[rec[1]].append(rec)
+    for bucket in buckets:
+        # (departure time, source shard, per-source sequence): a total
+        # order independent of outbox collection order.
+        bucket.sort(key=lambda r: (r[2], r[3], r[4]))
+    return buckets
+
+
+def _run_pass(driver, nshards: int, lookahead: float, drain: bool) -> int:
+    """One full workload pass under the window protocol; returns the
+    number of window barriers executed."""
+    launches = driver.call_all("launch")
+    next_times = [l[0] for l in launches]
+    dones = [l[1] for l in launches]
+    pending: List[List[tuple]] = [[] for _ in range(nshards)]
+    windows = 0
+    while not (all(dones) and not any(pending)):
+        candidates = [t for t in next_times if t != _INF]
+        for bucket in pending:
+            candidates.extend(rec[2] + lookahead for rec in bucket)
+        if not candidates:
+            raise SimulationError(
+                "sharded run cannot progress: every shard is out of "
+                "events but some ranks never finished (lost cross-shard "
+                "completion?)")
+        t_next = min(candidates) + lookahead
+        results = driver.call_all(
+            "window", [(t_next, pending[i]) for i in range(nshards)])
+        windows += 1
+        next_times = [r[1] for r in results]
+        dones = [r[2] for r in results]
+        pending = _route([r[0] for r in results], nshards)
+    if drain:
+        nows = driver.call_all("drain")
+        t_sync = max(nows)
+        driver.call_all("sync", [(t_sync,) for _ in range(nshards)])
+    return windows
+
+
+def _merge_audit(cfg, summaries: List[Dict]) -> Optional[Dict]:
+    """Combine per-shard audit verdicts into one cluster-wide verdict."""
+    verdicts = [s["audit"] for s in summaries if s["audit"] is not None]
+    if not verdicts:
+        return None
+    firsts = [v["first"] for v in verdicts if v["first"] is not None]
+    return {
+        "ok": all(v["ok"] for v in verdicts),
+        "violations": sum(v["violations"] for v in verdicts),
+        "checks": sorted({c for v in verdicts for c in v["checks"]}),
+        "watchdog_fired": sum(v["watchdog_fired"] for v in verdicts),
+        "first": (min(firsts, key=lambda f: f.get("t") or 0.0)
+                  if firsts else None),
+    }
+
+
+def run_sharded_workload(cfg, workload, warm_runs: int = 0,
+                         drain: bool = True,
+                         reset_after_warm: bool = True):
+    """Run ``workload`` on a cluster partitioned into ``cfg.shards``.
+
+    The sharded analog of :func:`repro.workloads.base.run_workload`
+    with the same pass structure (warm passes, measurement reset, timed
+    pass, drain) and a merged :class:`~repro.analysis.metrics.RunResult`:
+    requests concatenated across shards (canonically sorted), makespan
+    = the slowest shard's, iBridge/obs counters summed, and the merged
+    audit verdict (plus the cross-shard byte-conservation check) on
+    ``result.audit_verdict``.  ``shards=1`` routes through the serial
+    engine unchanged and is bit-identical to it.
+    """
+    cfg.validate()
+    if cfg.shards <= 1:
+        from ..pfs.cluster import Cluster
+        from ..workloads.base import run_workload
+        cluster = Cluster(cfg)
+        return run_workload(cluster, workload, drain=drain,
+                            warm_runs=warm_runs,
+                            reset_after_warm=reset_after_warm)
+
+    nshards = cfg.shards
+    lookahead = (cfg.shard_lookahead if cfg.shard_lookahead is not None
+                 else cfg.network.latency)
+    wire = pickle.dumps(workload)
+    specs = [{"cfg": cfg, "workload_pickle": wire, "shard_id": k,
+              "nshards": nshards, "lookahead": lookahead}
+             for k in range(nshards)]
+    driver_cls = (_InlineDriver if cfg.shard_mode == "inline"
+                  else _ProcessDriver)
+    driver = driver_cls(specs)
+    try:
+        driver.call_all("setup")
+        for _ in range(max(0, warm_runs)):
+            _run_pass(driver, nshards, lookahead, drain)
+        if warm_runs and reset_after_warm:
+            driver.call_all("reset")
+        driver.call_all("mark_start")
+        windows = _run_pass(driver, nshards, lookahead, drain)
+        summaries = driver.call_all("finalize")
+    finally:
+        driver.close()
+    return _merge_results(cfg, workload, summaries, windows)
+
+
+def _merge_results(cfg, workload, summaries: List[Dict], windows: int):
+    from ..analysis.metrics import RunResult
+
+    requests = []
+    for s in summaries:
+        requests.extend(s["requests"])
+    requests.sort(key=lambda r: (
+        r.complete_time if r.complete_time is not None else _INF,
+        r.submit_time if r.submit_time is not None else _INF,
+        r.rank, r.offset, r.id))
+
+    agg = None
+    if any(s["ibridge"] for s in summaries):
+        from ..core.manager import IBridgeStats
+        agg = IBridgeStats()
+        for s in summaries:
+            if s["ibridge"]:
+                for name, value in s["ibridge"].items():
+                    setattr(agg, name, getattr(agg, name) + value)
+
+    result = RunResult(
+        name=workload.name,
+        makespan=max(s["makespan"] for s in summaries),
+        total_bytes=workload.total_bytes,
+        requests=requests,
+        ssd_fraction=agg.ssd_fraction if agg is not None else 0.0,
+    )
+    obs_parts = [s["obs"] for s in summaries if s["obs"] is not None]
+    if obs_parts:
+        traces = sum(o["traces"] for o in obs_parts)
+        result.extra["obs_spans"] = float(sum(o["spans"] for o in obs_parts))
+        result.extra["obs_traces"] = float(traces)
+        result.extra["obs_mean_magnification"] = (
+            sum(o["mean_magnification"] * o["traces"] for o in obs_parts)
+            / traces if traces else 0.0)
+    result.extra["shards"] = float(len(summaries))
+    result.extra["shard_windows"] = float(windows)
+
+    merged = _merge_audit(cfg, summaries)
+
+    # Cross-shard conservation: with no timeouts (hence no duplicate
+    # at-least-once servings), the bytes the servers accounted during
+    # the measured pass must equal the bytes the completed application
+    # requests asked for — the one ledger no single shard can check.
+    timeouts = sum(s["timeouts"] for s in summaries)
+    conserved = True
+    if timeouts == 0:
+        delta_read = sum(s["delta_read"] for s in summaries)
+        delta_written = sum(s["delta_written"] for s in summaries)
+        req_read = sum(s["req_read_bytes"] for s in summaries)
+        req_write = sum(s["req_write_bytes"] for s in summaries)
+        conserved = (delta_read == req_read and delta_written == req_write)
+        if not conserved:
+            message = (f"servers read {delta_read} B for {req_read} B of "
+                       f"completed read requests, wrote {delta_written} B "
+                       f"for {req_write} B of completed write requests")
+            if merged is None:
+                merged = {"ok": False, "violations": 0, "checks": [],
+                          "watchdog_fired": 0, "first": None}
+            merged["ok"] = False
+            merged["violations"] += 1
+            merged["checks"] = sorted(set(merged["checks"])
+                                      | {"xshard-conservation"})
+            if merged["first"] is None:
+                merged["first"] = {"check": "xshard-conservation",
+                                   "message": message, "t": None}
+            if cfg.audit.enabled and cfg.audit.strict:
+                raise AuditError(f"[xshard-conservation] {message}")
+    result.extra["xshard_conserved"] = 1.0 if conserved else 0.0
+    result.audit_verdict = merged
+    return result
+
+
+# --------------------------------------------------------------------------
+# Canonical run digests
+# --------------------------------------------------------------------------
+def run_digest(result) -> str:
+    """A canonical sha256 over everything behavior-visible in a result.
+
+    Request *ids* are excluded on purpose: the sharded engine draws ids
+    from per-shard blocks (and back-to-back serial runs in one process
+    keep counting up), but ids are labels — they never influence the
+    event schedule.  Floats are hashed via ``float.hex`` so the digest
+    is exact, not printf-rounded.
+    """
+    def fhex(x):
+        return None if x is None else float(x).hex()
+
+    reqs = sorted(result.requests, key=lambda r: (
+        r.complete_time if r.complete_time is not None else -1.0,
+        r.submit_time if r.submit_time is not None else -1.0,
+        r.rank, r.offset, r.nbytes, r.op.value))
+    payload = {
+        "name": result.name,
+        "makespan": fhex(result.makespan),
+        "total_bytes": int(result.total_bytes),
+        "ssd_fraction": fhex(result.ssd_fraction),
+        "requests": [
+            [r.op.value, r.rank, r.offset, r.nbytes,
+             fhex(r.submit_time), fhex(r.complete_time)] for r in reqs],
+        "extra": {k: fhex(v) for k, v in sorted(result.extra.items())},
+        "recovery": {k: fhex(v) for k, v in sorted(result.recovery.items())},
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

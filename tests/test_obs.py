@@ -24,7 +24,7 @@ from repro.obs.metrics import load_metrics_jsonl
 from repro.obs.validate import validate_spans
 from repro.pfs.cluster import Cluster
 from repro.sim import Environment
-from repro.units import KiB
+from repro.units import KiB, MiB
 from repro.workloads.base import run_workload
 from repro.workloads.mpi_io_test import MpiIoTest
 
@@ -465,3 +465,98 @@ def test_flush_spans_zero_restores_export_at_finish(tmp_path):
     rt.finish_run()
     spans, _events = load_spans_jsonl(path)
     assert len(spans) == 5
+
+
+# ------------------------------------------- span slab + 1-in-N sampling
+def test_empty_attrs_sentinel_is_shared_and_copied_on_write():
+    from repro.obs.span import EMPTY_ATTRS
+
+    tracer = Tracer()
+    a = tracer.start("a", "client", 1, 0.0)
+    b = tracer.start("b", "client", 1, 0.0)
+    # No-attr spans share the one immutable (and falsy) sentinel.
+    assert a.attrs is EMPTY_ATTRS and b.attrs is EMPTY_ATTRS
+    assert not a.attrs and dict(a.attrs) == {}
+    with pytest.raises(TypeError):
+        a.attrs["k"] = 1  # the sentinel itself is immutable
+    # annotate() copies on first write; the sibling keeps the sentinel.
+    a.annotate(server=3)
+    assert a.attrs == {"server": 3} and a.attrs is not EMPTY_ATTRS
+    assert b.attrs is EMPTY_ATTRS and len(EMPTY_ATTRS) == 0
+    a.annotate(route="ssd")
+    assert a.attrs == {"server": 3, "route": "ssd"}
+
+
+def test_unsampled_spans_recycle_through_the_freelist():
+    tracer = Tracer(sample_n=2)
+    kept = tracer.start("kept", "client", 0, 0.0)  # 0 % 2 == 0: retained
+    tracer.finish(kept, 1.0)
+    dropped = tracer.start("dropped", "client", 1, 0.0)
+    dropped.annotate(big="x" * 64)
+    tracer.finish(dropped, 1.0)
+    assert tracer.unsampled == 1 and tracer.spans == [kept]
+    # The next start reuses the recycled object with a fresh identity
+    # and without the old attrs.
+    reused = tracer.start("reused", "client", 2, 2.0)
+    assert reused is dropped
+    assert reused.name == "reused" and reused.end is None
+    assert not reused.attrs
+    # sample_n=1 (the default) never recycles: full-fidelity tracing
+    # allocates a fresh object per span.
+    plain = Tracer()
+    s1 = plain.start("s1", "client", 1, 0.0)
+    plain.finish(s1, 1.0)
+    assert plain.start("s2", "client", 2, 1.0) is not s1
+    assert plain.unsampled == 0
+
+
+def test_trace_sampling_keeps_retained_traces_exact():
+    """sample_n=4 must retain every 4th trace *completely*: same spans,
+    same critical-path attribution as the unsampled run."""
+    def _spans(sample_n):
+        cfg = ClusterConfig(num_servers=4, client_jitter=0.0).with_obs(
+            metrics=False, trace_sample_n=sample_n)
+        cluster = Cluster(cfg)
+        run_workload(cluster, MpiIoTest(nprocs=4, request_size=65 * KiB,
+                                        file_size=2 * MiB))
+        return cluster.obs.tracer, \
+            [s for s in cluster.obs.tracer.spans if s.end is not None]
+
+    full_tracer, full = _spans(1)
+    sampled_tracer, sampled = _spans(4)
+    assert full_tracer.unsampled == 0
+    assert sampled_tracer.unsampled > 0
+    assert 0 < len(sampled) < len(full)
+    assert all(s.trace_id % 4 == 0 for s in sampled)
+
+    # Trace ids come from the process-global request-id counter, which
+    # keeps counting across the two runs, so run 2's ids are run 1's
+    # shifted by one constant (the schedules are identical; sampling
+    # only changes retention).  Solve for that shift: it is the unique
+    # offset that maps every retained id onto a full-run id.
+    full_ids = sorted({s.trace_id for s in full})
+    retained = sorted({s.trace_id for s in sampled})
+    # ~1-in-4 retention of the root traces.
+    assert len(retained) * 3 <= len(full_ids) <= (len(retained) + 1) * 4
+    full_set = set(full_ids)
+    shifts = [retained[0] - f for f in full_ids
+              if all(t - (retained[0] - f) in full_set for t in retained)]
+    assert len(shifts) == 1, f"ambiguous id shift: {shifts}"
+    shift = shifts[0]
+
+    full_by_id = {}
+    for s in full:
+        full_by_id.setdefault(s.trace_id, []).append(
+            (s.name, s.kind, s.start, s.end))
+    full_trees = build_trees(full)
+    for trace_id, tree in build_trees(sampled).items():
+        # Exactness: the retained trace carries every span the full run
+        # recorded for the corresponding trace.
+        got = sorted((s.name, s.kind, s.start, s.end)
+                     for s in sampled if s.trace_id == trace_id)
+        assert got == sorted(full_by_id[trace_id - shift])
+        # ... and therefore bit-exact critical-path attribution.
+        report = analyze_trace(tree)
+        reference = analyze_trace(full_trees[trace_id - shift])
+        assert report.latency == reference.latency
+        assert report.breakdown == reference.breakdown

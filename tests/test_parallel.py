@@ -1,0 +1,190 @@
+"""Tests for the partitioned-horizon parallel engine (repro.sim.parallel).
+
+The contract under test, in order of importance:
+
+* ``shards=1`` is **bit-identical** to the serial engine — same digest
+  over every behavior-visible field of the result.
+* Sharded runs are **deterministic**: a fixed ``(seed, shards)`` pair
+  reproduces the same digest run over run, and the process driver
+  matches the inline driver exactly.
+* Sharding never loses work: every shard count completes the serial
+  run's requests and moves the same bytes, and the cross-shard
+  conservation ledger agrees (``xshard_conserved``).
+* Features the protocol cannot support (fault plans, barriers,
+  collectives) fail loudly, not wrongly.
+* The experiment-matrix cache treats the shard count as context: a
+  result computed at one shard count is never replayed at another.
+"""
+
+import warnings
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.devices.base import Op
+from repro.errors import ConfigError, WorkloadError
+from repro.experiments import common as exp_common
+from repro.experiments.common import measure, warn_if_oversubscribed
+from repro.faults import FaultPlan, fail_slow
+from repro.pfs.cluster import Cluster
+from repro.sim.parallel import run_digest, run_sharded_workload
+from repro.units import KiB, MiB
+from repro.workloads.base import run_workload
+from repro.workloads.mpi_io_test import MpiIoTest
+
+
+def _cfg(**overrides) -> ClusterConfig:
+    return ClusterConfig(num_servers=4, client_jitter=0.0, **overrides)
+
+
+def _workload(op: Op = Op.READ) -> MpiIoTest:
+    # 4 ranks on 4 client nodes: a 2-shard split owns 2 nodes each.
+    return MpiIoTest(nprocs=4, request_size=65 * KiB, file_size=2 * MiB,
+                     op=op)
+
+
+# ------------------------------------------------------- bit-identity
+def test_shards1_is_bit_identical_to_serial():
+    serial = run_workload(Cluster(_cfg()), _workload())
+    sharded = run_sharded_workload(_cfg(shards=1), _workload())
+    assert run_digest(sharded) == run_digest(serial)
+
+
+def test_sharded_runs_are_deterministic():
+    cfg = _cfg(shards=2, shard_mode="inline")
+    first = run_sharded_workload(cfg, _workload())
+    second = run_sharded_workload(cfg, _workload())
+    assert run_digest(first) == run_digest(second)
+    assert first.extra["shards"] == 2.0
+    assert first.extra["shard_windows"] > 0
+
+
+def test_process_driver_matches_inline_driver():
+    inline = run_sharded_workload(_cfg(shards=2, shard_mode="inline"),
+                                  _workload())
+    proc = run_sharded_workload(_cfg(shards=2, shard_mode="process"),
+                                _workload())
+    assert run_digest(proc) == run_digest(inline)
+
+
+def test_inline_sharded_run_leaves_serial_engine_bit_identical():
+    # The inline driver swaps the module-global request-id counter per
+    # shard call; a serial run after a sharded one must not notice.
+    before = run_workload(Cluster(_cfg()), _workload())
+    run_sharded_workload(_cfg(shards=2, shard_mode="inline"), _workload())
+    after = run_workload(Cluster(_cfg()), _workload())
+    assert run_digest(after) == run_digest(before)
+
+
+# ------------------------------------------------------- conservation
+@pytest.mark.parametrize("op", [Op.READ, Op.WRITE])
+def test_sharded_run_completes_the_serial_requests(op):
+    serial = run_workload(Cluster(_cfg()), _workload(op))
+    sharded = run_sharded_workload(_cfg(shards=2), _workload(op))
+    assert len(sharded.requests) == len(serial.requests)
+    assert (sum(r.nbytes for r in sharded.requests)
+            == sum(r.nbytes for r in serial.requests))
+    # Same request population, keyed by identity (ids are per-shard).
+    def key(r):
+        return (r.rank, r.offset, r.nbytes, r.op)
+    assert sorted(map(key, sharded.requests)) == \
+        sorted(map(key, serial.requests))
+    assert all(r.complete_time is not None for r in sharded.requests)
+    assert sharded.extra["xshard_conserved"] == 1.0
+
+
+def test_sharded_strict_audit_passes():
+    cfg = _cfg(shards=2).with_audit()
+    result = run_sharded_workload(cfg, _workload(Op.WRITE))
+    assert result.audit_verdict["ok"]
+    # ``checks`` lists only checks that *violated* (serial semantics);
+    # a clean run records conservation in extra instead.
+    assert "xshard-conservation" not in result.audit_verdict["checks"]
+    assert result.extra["xshard_conserved"] == 1.0
+
+
+def test_sharded_ibridge_with_warm_pass_runs_clean():
+    cfg = _cfg(shards=2).with_ibridge(ssd_partition=8 * MiB).with_audit()
+    first = run_sharded_workload(cfg, _workload(), warm_runs=1)
+    second = run_sharded_workload(cfg, _workload(), warm_runs=1)
+    assert first.audit_verdict["ok"]
+    assert run_digest(first) == run_digest(second)
+    assert 0.0 <= first.ssd_fraction <= 1.0
+
+
+# ------------------------------------------------ unsupported features
+def test_fault_plans_are_rejected_with_shards():
+    plan = FaultPlan(events=(fail_slow(0, 2.0, start=0.1, duration=0.5),))
+    with pytest.raises(ConfigError):
+        measure(_cfg(shards=2), _workload(), fault_plan=plan)
+
+
+def test_barrier_workloads_are_rejected_with_shards():
+    workload = MpiIoTest(nprocs=4, request_size=65 * KiB,
+                         file_size=1 * MiB, use_barrier=True)
+    with pytest.raises(WorkloadError):
+        run_sharded_workload(_cfg(shards=2), workload)
+
+
+def test_collective_workloads_are_rejected_with_shards():
+    workload = MpiIoTest(nprocs=4, request_size=65 * KiB,
+                         file_size=1 * MiB, collective=True)
+    with pytest.raises(WorkloadError):
+        run_sharded_workload(_cfg(shards=2), workload)
+
+
+# ------------------------------------------------------- configuration
+def test_shard_config_validation():
+    with pytest.raises(ConfigError):
+        _cfg(shards=0).validate()
+    with pytest.raises(ConfigError):
+        _cfg(shards=2, shard_mode="threads").validate()
+    with pytest.raises(ConfigError):
+        _cfg(shards=2, shard_lookahead=0.0).validate()
+    cfg = _cfg().with_shards(4, shard_mode="inline")
+    assert cfg.shards == 4 and cfg.shard_mode == "inline"
+
+
+def test_measure_serial_fallback_when_cluster_needed():
+    # Callers that inspect the finished cluster get the serial engine
+    # (plus a one-time warning), never a silently missing cluster.
+    exp_common._serial_fallback_warned = False
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result, cluster = measure(_cfg(shards=2), _workload(),
+                                  need_cluster=True)
+    assert cluster is not None
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+    serial = run_workload(Cluster(_cfg()), _workload())
+    assert run_digest(result) == run_digest(serial)
+
+
+def test_oversubscription_warns_once(monkeypatch):
+    monkeypatch.setattr(exp_common, "_oversubscribed_warned", False)
+    import os
+    cpus = os.cpu_count() or 1
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert warn_if_oversubscribed(jobs=cpus, shards=2) is True
+        assert warn_if_oversubscribed(jobs=cpus, shards=2) is False
+    assert len(caught) == 1
+    monkeypatch.setattr(exp_common, "_oversubscribed_warned", False)
+    assert warn_if_oversubscribed(jobs=1, shards=1) is False
+
+
+def test_cache_key_includes_shard_context(tmp_path):
+    from repro.experiments.runner import cell, run_cells
+    cells = [cell("tests.test_runner:_probe_cell", a=11)]
+    run_cells(cells, jobs=1, cache=True, cache_dir=str(tmp_path))
+    exp_common.set_default_shards(2)
+    try:
+        second = run_cells(cells, jobs=1, cache=True,
+                           cache_dir=str(tmp_path))
+        assert second.executed == 1 and second.cached == 0
+        third = run_cells(cells, jobs=1, cache=True,
+                          cache_dir=str(tmp_path))
+        assert third.executed == 0 and third.cached == 1
+    finally:
+        exp_common.set_default_shards(1)
+    fourth = run_cells(cells, jobs=1, cache=True, cache_dir=str(tmp_path))
+    assert fourth.executed == 0 and fourth.cached == 1
