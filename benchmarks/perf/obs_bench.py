@@ -1,14 +1,17 @@
 """Observability overhead micro-benchmark: tracing on vs off.
 
-Runs the same unaligned mpi-io-test cell four ways — obs disabled
+Runs the same unaligned mpi-io-test cell five ways — obs disabled
 (the default every experiment runs with), spans only, spans with
 1-in-4 trace sampling (the always-on configuration the ≤5% overhead
-target applies to), and spans + metrics sampler — and reports wall
-seconds plus the relative overhead.  The disabled case is the one that
-matters for the perf baseline: every instrumented site must cost one
-attribute load and a ``None`` test, so its wall time must track the
-pre-observability engine numbers (``BASELINE.json``, checked by the
-micro suite).
+target applies to), spans + metrics sampler, and the full stack plus
+the continuous timeline recorder at its default cadence — and reports
+wall seconds plus the relative overhead.  The disabled case is the one
+that matters for the perf baseline: every instrumented site must cost
+one attribute load and a ``None`` test, so its wall time must track
+the pre-observability engine numbers (``BASELINE.json``, checked by
+the micro suite).  The ``obs_timeline`` tier bounds the marginal cost
+of the timeline ticker over ``obs_full`` (its regression gate lives in
+``run.py``).
 
 Methodology: tiers are **interleaved** round-robin and each overhead
 is the *median of per-round ratios* against the obs-off run of the
@@ -52,6 +55,7 @@ def run_all(quick: bool = False) -> Dict[str, Any]:
         "obs_trace": base.with_obs(metrics=False),
         "obs_sampled": base.with_obs(metrics=False, trace_sample_n=4),
         "obs_full": base.with_obs(),
+        "obs_timeline": base.with_obs(timeline_dt=0.05),
     }
 
     times: Dict[str, list] = {name: [] for name in tiers}
@@ -62,7 +66,7 @@ def run_all(quick: bool = False) -> Dict[str, Any]:
     report: Dict[str, Any] = {
         "obs_off": {"seconds": min(times["obs_off"])}
     }
-    for name in ("obs_trace", "obs_sampled", "obs_full"):
+    for name in ("obs_trace", "obs_sampled", "obs_full", "obs_timeline"):
         ratios = [times[name][i] / times["obs_off"][i]
                   for i in range(rounds)]
         report[name] = {
@@ -70,4 +74,5 @@ def run_all(quick: bool = False) -> Dict[str, Any]:
             "overhead_pct": (statistics.median(ratios) - 1.0) * 100.0,
         }
     report["obs_sampled"]["sample_n"] = 4
+    report["obs_timeline"]["timeline_dt"] = 0.05
     return report

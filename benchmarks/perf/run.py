@@ -105,7 +105,10 @@ def run_suite(quick: bool = False, jobs: int = 4,
           f"{report['obs']['obs_sampled']['seconds']:.2f}s "
           f"(+{report['obs']['obs_sampled']['overhead_pct']:.1f}%), "
           f"spans+metrics {report['obs']['obs_full']['seconds']:.2f}s "
-          f"(+{report['obs']['obs_full']['overhead_pct']:.1f}%)")
+          f"(+{report['obs']['obs_full']['overhead_pct']:.1f}%), "
+          f"+timeline@{report['obs']['obs_timeline']['timeline_dt']:g}s "
+          f"{report['obs']['obs_timeline']['seconds']:.2f}s "
+          f"(+{report['obs']['obs_timeline']['overhead_pct']:.1f}%)")
     print("== gc: FTL/GC model overhead (off vs on) ==", flush=True)
     report["gc"] = gc_bench.run_all(quick=quick)
     gc_on = report["gc"]["ftl_on"]
@@ -199,6 +202,18 @@ def main(argv: Optional[list] = None) -> int:
             and scale_row["shard4_speedup"] < 1.8):
         print(f"FAIL: 4-shard speedup {scale_row['shard4_speedup']:.2f}x "
               f"< 1.8x on a {scale_row['cpu_count']}-CPU host",
+              file=sys.stderr)
+        return 1
+    # The timeline ticker rides the obs_full stack; its *marginal* cost
+    # over obs_full must stay small (quick sizes are too noisy for a
+    # percentage-point gate).
+    obs_row = report.get("obs", {})
+    if (not args.quick and obs_row
+            and obs_row["obs_timeline"]["overhead_pct"]
+            - obs_row["obs_full"]["overhead_pct"] > 10.0):
+        print(f"FAIL: timeline recorder adds "
+              f"{obs_row['obs_timeline']['overhead_pct'] - obs_row['obs_full']['overhead_pct']:.1f}% "
+              f"over the spans+metrics tier (> 10% budget)",
               file=sys.stderr)
         return 1
 

@@ -11,12 +11,18 @@ One fig2-style unaligned cell, four ways:
 4. a request-population cross-check: the sharded run completes the
    same requests and moves the same bytes as the serial run.
 
+``--profile-out PATH`` additionally writes the 2-shard run's barrier
+profile (``result.extra["shard_profile"]``) as JSON and prints the
+per-shard busy/idle/wait analyzer table — the input ``python -m
+repro.obs.report --shard-profile`` renders.
+
 Exits nonzero on the first broken expectation.
 
     PYTHONPATH=src python scripts/shard_smoke.py [--scale 0.002]
 """
 
 import argparse
+import json
 import os
 import sys
 
@@ -25,7 +31,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 from repro.config import ClusterConfig  # noqa: E402
 from repro.experiments.common import file_bytes  # noqa: E402
 from repro.pfs.cluster import Cluster  # noqa: E402
-from repro.sim.parallel import run_digest, run_sharded_workload  # noqa: E402
+from repro.sim.parallel import (format_shard_profile, run_digest,  # noqa: E402
+                                run_sharded_workload)
 from repro.units import KiB  # noqa: E402
 from repro.workloads.base import run_workload  # noqa: E402
 from repro.workloads.mpi_io_test import MpiIoTest  # noqa: E402
@@ -40,6 +47,8 @@ def check(ok: bool, what: str) -> None:
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="write the 2-shard barrier profile as JSON")
     args = parser.parse_args()
 
     nprocs, request = 16, 65 * KiB
@@ -83,6 +92,15 @@ def main() -> int:
     print(f"windows={first.extra['shard_windows']:.0f}, "
           f"serial makespan {serial.makespan:.6f}s vs "
           f"2-shard {first.makespan:.6f}s")
+
+    profile = first.extra.get("shard_profile")
+    check(isinstance(profile, dict) and profile.get("windows"),
+          "barrier profile recorded in result.extra['shard_profile']")
+    print(format_shard_profile(profile))
+    if args.profile_out:
+        with open(args.profile_out, "w", encoding="utf-8") as fh:
+            json.dump(profile, fh)
+        print(f"barrier profile written to {args.profile_out}")
     return 0
 
 

@@ -386,6 +386,19 @@ class ObsConfig:
     #: flush is driven by span closures, not by a sim process, so it
     #: never perturbs event schedules.
     flush_spans: int = 256
+    #: Sim-seconds between timeline ticks (:mod:`repro.obs.timeline`).
+    #: ``0`` (default) disables the recorder entirely — no process, no
+    #: ring buffer, no per-event cost.  When positive, a sim process
+    #: snapshots every registry gauge each tick (cumulative series are
+    #: additionally emitted as per-second rates) into a bounded ring
+    #: buffer; like the metrics sampler, the ticker consumes event-heap
+    #: sequence numbers, so this knob is part of the cache key via
+    #: ObsConfig.
+    timeline_dt: float = 0.0
+    #: Timeline rows retained in the ring buffer (oldest evicted first).
+    timeline_limit: int = 100_000
+    #: Append timeline JSONL here at end of run (None = in-memory only).
+    timeline_path: Optional[str] = None
     #: 1-in-N root-trace sampling: only parent requests whose trace id
     #: is divisible by N keep their span trees; the other N-1 traces
     #: allocate recycled (slab) spans that are dropped at close.  The
@@ -406,6 +419,13 @@ class ObsConfig:
             raise ConfigError("flush_spans must be non-negative")
         if self.trace_sample_n < 1:
             raise ConfigError("trace_sample_n must be >= 1")
+        if self.timeline_dt < 0:
+            raise ConfigError("timeline_dt must be non-negative")
+        if self.timeline_limit < 0:
+            raise ConfigError("timeline_limit must be non-negative")
+        if self.timeline_dt > 0 and not self.metrics:
+            raise ConfigError("the timeline recorder samples the metrics "
+                              "registry; timeline_dt > 0 needs metrics=True")
         if self.enabled and not (self.trace or self.metrics):
             raise ConfigError("obs enabled with neither trace nor metrics")
 

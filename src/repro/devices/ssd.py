@@ -68,6 +68,10 @@ class SolidStateDrive(Device):
         self.last_gc_stall = 0.0
         #: Cumulative foreground time lost to GC stalls and storms.
         self.gc_stall_time = 0.0
+        #: Optional observability hook (``callable(name)``): the obs
+        #: timeline wires this to record GC-storm begin/end marks.
+        #: ``None`` on unobserved runs — one attribute test per edge.
+        self.obs_mark = None
 
     # ----------------------------------------------------------- streams
     def is_contiguous(self, lbn: int, op: Op = Op.READ) -> bool:
@@ -101,10 +105,14 @@ class SolidStateDrive(Device):
         """Enter a GC-storm window (chaos fault): every command stalls
         one ``gc_slice`` and reads jitter, FTL or not."""
         self._storm_depth += 1
+        if self.obs_mark is not None:
+            self.obs_mark("gc_storm_begin")
 
     def gc_storm_end(self) -> None:
         if self._storm_depth > 0:
             self._storm_depth -= 1
+            if self.obs_mark is not None:
+                self.obs_mark("gc_storm_end")
 
     def trim(self, lbn: int, nbytes: int) -> None:
         """Host discard hint (the manager trims dropped log extents)."""

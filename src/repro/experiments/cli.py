@@ -149,6 +149,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "Prometheus exposition text (the same "
                              "format the experiment service serves "
                              "under /metrics)")
+    parser.add_argument("--timeline-out", metavar="PATH", default=None,
+                        help="record the continuous sim-time series "
+                             "(gauges sampled every --timeline-dt "
+                             "simulated seconds, counters as rates, "
+                             "fault/GC marks) to a JSONL file (.csv "
+                             "suffix switches to CSV); implies metrics")
+    parser.add_argument("--timeline-dt", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="timeline sample cadence in simulated "
+                             "seconds (default 0.05; only with "
+                             "--timeline-out)")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write a unified markdown run report "
+                             "(critical path + timeline sparklines + "
+                             "fault windows) after the run; needs "
+                             "--trace-out and/or --timeline-out")
     parser.add_argument("--fault-plan", metavar="PATH", default=None,
                         help="run the experiment under the fault plan in "
                              "PATH (JSON, or YAML with PyYAML installed); "
@@ -183,31 +199,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_audit(AuditConfig(enabled=True,
                                       trace_path=args.audit_trace))
 
-    if args.trace_out or args.metrics_out or args.metrics_text:
+    if args.report and not (args.trace_out or args.timeline_out):
+        parser.error("--report needs --trace-out and/or --timeline-out")
+    if args.timeline_dt <= 0:
+        parser.error("--timeline-dt must be positive")
+
+    if (args.trace_out or args.metrics_out or args.metrics_text
+            or args.timeline_out):
         # Like the audit trace, obs files are appended per cluster;
         # truncate each once per CLI invocation.  (--metrics-text is
         # overwrite-per-cluster by nature; no truncation needed.)
-        for path in (args.trace_out, args.metrics_out):
+        for path in (args.trace_out, args.metrics_out, args.timeline_out):
             if path:
                 open(path, "w", encoding="utf-8").close()
-        metrics_on = args.metrics_out is not None or \
-            args.metrics_text is not None
-        set_default_obs(ObsConfig(enabled=True,
-                                  trace=args.trace_out is not None,
-                                  metrics=metrics_on,
-                                  trace_path=args.trace_out,
-                                  metrics_path=args.metrics_out,
-                                  metrics_text_path=args.metrics_text))
+        metrics_on = (args.metrics_out is not None
+                      or args.metrics_text is not None
+                      or args.timeline_out is not None)
+        set_default_obs(ObsConfig(
+            enabled=True,
+            trace=args.trace_out is not None,
+            metrics=metrics_on,
+            trace_path=args.trace_out,
+            metrics_path=args.metrics_out,
+            metrics_text_path=args.metrics_text,
+            timeline_dt=(args.timeline_dt if args.timeline_out else 0.0),
+            timeline_path=args.timeline_out))
 
     if args.audit_trace and args.jobs > 1:
         # Pool workers appending to one JSONL would interleave; keep the
         # trace coherent by running the matrix in-process.
         print("note: --audit-trace forces --jobs 1 (single trace writer)")
         args.jobs = 1
-    if (args.trace_out or args.metrics_out or args.metrics_text) \
-            and args.jobs > 1:
-        print("note: --trace-out/--metrics-out/--metrics-text force "
-              "--jobs 1 (single trace writer)")
+    if (args.trace_out or args.metrics_out or args.metrics_text
+            or args.timeline_out) and args.jobs > 1:
+        print("note: --trace-out/--metrics-out/--metrics-text/"
+              "--timeline-out force --jobs 1 (single trace writer)")
         args.jobs = 1
     if args.profile and args.jobs > 1:
         args.jobs = 1
@@ -250,15 +276,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
 
     if args.trace_out:
-        _emit_trace_outputs(args.trace_out)
+        _emit_trace_outputs(args.trace_out, args.timeline_out)
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
     if args.metrics_text:
         print(f"metrics exposition written to {args.metrics_text}")
+    if args.timeline_out:
+        print(f"timeline written to {args.timeline_out}")
+    if args.report:
+        from ..obs import report as obs_report
+        rc = obs_report.main(
+            (["--trace", args.trace_out] if args.trace_out else [])
+            + (["--timeline", args.timeline_out] if args.timeline_out
+               else [])
+            + (["--metrics", args.metrics_out] if args.metrics_out else [])
+            + ["--format", "markdown", "--out", args.report])
+        if rc != 0:
+            return rc
     return 0
 
 
-def _emit_trace_outputs(trace_path: str) -> None:
+def _emit_trace_outputs(trace_path: str,
+                        timeline_path: Optional[str] = None) -> None:
     """Post-run trace products: straggler report + Chrome/Perfetto JSON."""
     from ..obs.critical_path import analyze
     from ..obs.export import (chrome_path_for, load_spans_jsonl,
@@ -270,8 +309,15 @@ def _emit_trace_outputs(trace_path: str) -> None:
         return
     report = analyze(spans)
     print(report.format())
+    counters = ()
+    if timeline_path and timeline_path.endswith(".jsonl"):
+        # Timeline samples ride along as Perfetto counter tracks, so
+        # queue depth / SSD occupancy plot under the span lanes.
+        from ..obs.timeline import load_timeline_jsonl
+        counters = [r for r in load_timeline_jsonl(timeline_path)
+                    if "series" in r]
     chrome_path = chrome_path_for(trace_path)
-    write_chrome_trace(chrome_path, spans, events)
+    write_chrome_trace(chrome_path, spans, events, counters)
     print(f"spans written to {trace_path} "
           f"(Chrome/Perfetto: {chrome_path} — open at https://ui.perfetto.dev)")
 

@@ -20,6 +20,13 @@ package makes that visible per request instead of only in aggregate:
 * :mod:`repro.obs.runtime` — per-cluster wiring plus the adapters that
   let :class:`~repro.audit.trace.EventTrace` and
   :class:`~repro.block.blktrace.BlockTracer` feed the same sink.
+* :mod:`repro.obs.timeline` — sim-time series recorder: samples every
+  registry gauge on a fixed cadence (``ObsConfig.timeline_dt``) into a
+  bounded ring buffer, differencing cumulative series into rates, with
+  event-driven marks for fault windows and GC storms.
+* :mod:`repro.obs.report` — the ``python -m repro.obs.report`` CLI that
+  joins trace + metrics + timeline (+ shard barrier profile) into one
+  console/markdown run report.
 
 Everything is flag-gated (``ObsConfig.enabled``) following the
 ``BlockTracer`` pattern: with observability off, instrumented sites
@@ -31,6 +38,8 @@ from .critical_path import RunReport, TraceReport, analyze, build_trees
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .runtime import ObsRuntime
 from .span import Span, Tracer
+from .timeline import (TimelineRecorder, load_timeline_jsonl, series_key,
+                       sparkline, summarize_series)
 
 __all__ = [
     "Span",
@@ -40,8 +49,13 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ObsRuntime",
+    "TimelineRecorder",
     "TraceReport",
     "RunReport",
     "analyze",
     "build_trees",
+    "load_timeline_jsonl",
+    "series_key",
+    "sparkline",
+    "summarize_series",
 ]

@@ -20,6 +20,7 @@ import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .span import Span
+from .timeline import series_key
 
 #: Chrome trace events use microseconds; the sim uses seconds.
 _US = 1e6
@@ -99,8 +100,15 @@ def _lanes(spans: Sequence[Span]) -> Dict[int, int]:
 
 
 def chrome_trace(spans: Sequence[Span],
-                 events: Sequence[Dict[str, Any]] = ()) -> Dict[str, Any]:
-    """Build a Chrome trace-event document from spans."""
+                 events: Sequence[Dict[str, Any]] = (),
+                 counters: Sequence[Dict[str, Any]] = ()) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from spans.
+
+    ``counters`` takes timeline sample rows (``{"t", "series",
+    "labels", "value"}`` — see :mod:`repro.obs.timeline`) and renders
+    each labelled series as a Perfetto *counter track* (``ph: "C"``) on
+    pid 0, so queue depth and SSD occupancy plot under the span lanes.
+    """
     out: List[Dict[str, Any]] = []
     by_trace: Dict[int, List[Span]] = {}
     for span in spans:
@@ -136,13 +144,24 @@ def chrome_trace(spans: Sequence[Span],
         if rec.get("attrs"):
             ev["args"] = rec["attrs"]
         out.append(ev)
+    for row in counters:
+        if "series" not in row:
+            continue  # segment headers / marks ride the events path
+        out.append({
+            "ph": "C",
+            "name": series_key(row["series"], row.get("labels") or {}),
+            "pid": 0, "tid": 0,
+            "ts": float(row["t"]) * _US,
+            "args": {"value": float(row["value"])},
+        })
     return {"traceEvents": out, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(path: str, spans: Sequence[Span],
-                       events: Sequence[Dict[str, Any]] = ()) -> int:
+                       events: Sequence[Dict[str, Any]] = (),
+                       counters: Sequence[Dict[str, Any]] = ()) -> int:
     """Write the Chrome JSON document; returns the event count."""
-    doc = chrome_trace(spans, events)
+    doc = chrome_trace(spans, events, counters)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
     return len(doc["traceEvents"])
@@ -169,7 +188,7 @@ def validate_chrome_trace(path: str) -> List[str]:
             continue
         if "name" not in ev:
             problems.append(f"event {i}: missing name")
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "C"):
             ts = ev.get("ts")
             if not isinstance(ts, (int, float)):
                 problems.append(f"event {i}: bad ts {ts!r}")
@@ -177,4 +196,11 @@ def validate_chrome_trace(path: str) -> List[str]:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"event {i}: bad dur {dur!r}")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"event {i}: counter without args")
+            elif any(not isinstance(v, (int, float)) or v != v
+                     for v in args.values()):
+                problems.append(f"event {i}: non-numeric counter value")
     return problems

@@ -31,6 +31,7 @@ from .critical_path import RunReport, analyze
 from .export import append_spans
 from .metrics import MetricsRegistry
 from .span import Tracer
+from .timeline import TimelineRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import ObsConfig
@@ -48,6 +49,17 @@ class ObsRuntime:
                    sample_n=config.trace_sample_n) if config.trace else None)
         self.registry: Optional[MetricsRegistry] = (
             MetricsRegistry() if config.metrics else None)
+        #: Sim-time series recorder (None unless timeline_dt > 0): the
+        #: continuous-telemetry sibling of the one-shot registry sample.
+        self.timeline: Optional[TimelineRecorder] = (
+            TimelineRecorder(self.registry, config.timeline_dt,
+                             config.timeline_limit)
+            if self.registry is not None and config.timeline_dt > 0
+            else None)
+        #: Fault-injector record list (attached by the cluster after the
+        #: injector installs); converted to timeline marks at finish.
+        self._fault_records = None
+        self._fault_marked = 0
         self._finished = False
         # Incremental span streaming (config.flush_spans > 0): closed
         # spans buffer here and hit the JSONL file every flush_spans
@@ -74,6 +86,12 @@ class ObsRuntime:
             if getattr(server, "is_remote", False):
                 continue  # stub relays have no queues/devices to wire
             server.obs = tracer
+            if self.timeline is not None:
+                # GC-storm edges become event-driven timeline marks.
+                env = self.env
+                server.ssd.obs_mark = (
+                    lambda name, tl=self.timeline, sid=server.id:
+                    tl.mark(name, env.now, server=sid))
             self._wire_queue(server.ssd_queue, server.id, "ssd")
             for d, unit in enumerate(server.disks):
                 self._wire_queue(unit.queue, server.id, f"hdd{d}")
@@ -83,9 +101,21 @@ class ObsRuntime:
                     self._wire_manager(unit.ibridge, server.id, d)
         if reg is not None:
             reg.start(self.env, self.config.sample_period)
+        if self.timeline is not None:
+            self.timeline.start(self.env)
 
     def wire_client(self, client) -> None:
         client.obs = self.tracer
+        if self.registry is not None:
+            self.registry.gauge("outstanding_subrequests",
+                                (lambda c=client: c.outstanding),
+                                client=client.id)
+
+    def attach_faults(self, injector) -> None:
+        """Record the injector's window log; its begin/end records are
+        replayed as timeline marks at finish (they carry sim times, so
+        the pull is lossless)."""
+        self._fault_records = injector.records
 
     def _wire_queue(self, queue, server_id: int, dev: str) -> None:
         queue.obs = self.tracer
@@ -194,9 +224,11 @@ class ObsRuntime:
 
     # ----------------------------------------------------------- lifecycle
     def stop(self) -> None:
-        """Stop the metrics sampler (lets ``env.run()`` terminate)."""
+        """Stop the samplers (lets ``env.run()`` terminate)."""
         if self.registry is not None:
             self.registry.stop()
+        if self.timeline is not None:
+            self.timeline.stop()
 
     def reset(self) -> None:
         """Drop telemetry accumulated by warm runs (measurement reset)."""
@@ -204,6 +236,9 @@ class ObsRuntime:
             self.tracer.clear()
         if self.registry is not None:
             self.registry.clear()
+        if self.timeline is not None:
+            self.timeline.clear()
+            self._fault_marked = 0
         # Anything still buffered belongs to the discarded passes, and
         # tracer.clear() emptied the events list the stream index points
         # into.
@@ -215,6 +250,16 @@ class ObsRuntime:
         if self._finished:
             return
         self._finished = True
+        if self.timeline is not None:
+            self.timeline.sample(self.env.now)
+            self.timeline.stop()
+            self._mark_fault_windows()
+            path = self.config.timeline_path
+            if path:
+                if path.endswith(".csv"):
+                    self.timeline.export_csv(path)
+                else:
+                    self.timeline.export_jsonl(path)
         if self.registry is not None:
             self.registry.sample(self.env.now)
             self.registry.stop()
@@ -232,6 +277,24 @@ class ObsRuntime:
                 closed = [s for s in self.tracer.spans if s.end is not None]
                 append_spans(self.config.trace_path, closed,
                              self.tracer.events)
+
+    def _mark_fault_windows(self) -> None:
+        """Convert injector begin/end records into timeline marks."""
+        if self.timeline is None or self._fault_records is None:
+            return
+        records = self._fault_records[self._fault_marked:]
+        self._fault_marked = len(self._fault_records)
+        for rec in records:
+            attrs = {"event": rec.event.kind.value}
+            if getattr(rec.event, "server", None) is not None:
+                attrs["server"] = rec.event.server
+            self.timeline.mark(f"fault_{rec.phase}", rec.time, **attrs)
+
+    def timeline_summary(self):
+        """Per-series min/mean/p99/last dict (None when timeline off)."""
+        if self.timeline is None:
+            return None
+        return self.timeline.summary()
 
     # ------------------------------------------------------------ analysis
     def analyze(self) -> RunReport:

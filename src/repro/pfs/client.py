@@ -54,6 +54,9 @@ class PFSClient:
         self.failures = 0       # parent requests failed after exhaustion
         self.exhausted = 0      # sub-requests abandoned (any reason)
         self.wallclock_exhausted = 0  # ... because of retry.total_timeout
+        #: Sub-requests issued but not yet completed/abandoned; sampled
+        #: by the obs timeline as the client-side load gauge.
+        self.outstanding = 0
 
     # ------------------------------------------------------------- splitting
     def split(self, parent: ParentRequest) -> List[SubRequest]:
@@ -204,14 +207,17 @@ class PFSClient:
             self.exhausted += 1
             if wallclock:
                 self.wallclock_exhausted += 1
+            self.outstanding -= 1
             finished.fail(exc)
 
         def run():
+            self.outstanding += 1
             if not retry.enabled:
                 one = env.event()
                 env.process(attempt(one), name=f"{self.name}-s{sub.id}a0")
                 yield one
                 finish_span()
+                self.outstanding -= 1
                 finished.succeed(sub)
                 return
             attempts = retry.max_retries + 1
@@ -232,6 +238,7 @@ class PFSClient:
                 if completed.triggered:
                     # A straggler replied during the backoff sleep.
                     finish_span()
+                    self.outstanding -= 1
                     finished.succeed(sub)
                     return
                 if budget is not None and env.now - start >= budget:
@@ -250,6 +257,7 @@ class PFSClient:
                 fired = yield env.any_of([completed, deadline])
                 if completed in fired:
                     finish_span()
+                    self.outstanding -= 1
                     finished.succeed(sub)
                     return
                 self.timeouts += 1

@@ -134,6 +134,9 @@ class Cluster:
             from ..faults import FaultInjector
             self.faults = FaultInjector(self, fault_plan,
                                         audit=self.audit).install()
+            if self.obs is not None:
+                # Fault begin/end records double as timeline marks.
+                self.obs.attach_faults(self.faults)
 
     # ------------------------------------------------------------- clients
     def client(self, client_id: int = 0) -> PFSClient:

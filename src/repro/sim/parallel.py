@@ -53,7 +53,8 @@ import itertools
 import json
 import multiprocessing
 import pickle
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import AuditError, SimulationError, WorkloadError
 
@@ -190,7 +191,8 @@ def _shard_config(cfg, shard_id: int):
     concurrent shard workers never interleave writes in one file."""
     changes = {}
     obs_changes = {}
-    for name in ("trace_path", "metrics_path", "metrics_text_path"):
+    for name in ("trace_path", "metrics_path", "metrics_text_path",
+                 "timeline_path"):
         path = getattr(cfg.obs, name, None)
         if path:
             obs_changes[name] = f"{path}.shard{shard_id}"
@@ -245,15 +247,25 @@ class ShardWorker:
         return self.cluster.env.peek(), self._done.triggered
 
     # -------------------------------------------------------------- window
-    def window(self, t_end: float,
-               records: List[tuple]) -> Tuple[List[tuple], float, bool]:
+    def window(self, t_end: float, records: List[tuple]
+               ) -> Tuple[List[tuple], float, bool, tuple]:
         """Deliver ``records``, run until ``t_end``, drain the outbox.
 
-        Returns ``(outbox, next_event_time, ranks_done)``.  Records
-        whose arrival falls beyond ``t_end`` stay queued in the local
-        heap (their timeout simply fires in a later window) — the
+        Returns ``(outbox, next_event_time, ranks_done, stats)``.
+        Records whose arrival falls beyond ``t_end`` stay queued in the
+        local heap (their timeout simply fires in a later window) — the
         returned ``next_event_time`` accounts for them via ``peek``.
+
+        ``stats`` is the barrier profiler's per-window telemetry,
+        ``(busy_ns, idle_ns, events, sent, recv)``: integer-nanosecond
+        wall clocks (``time.perf_counter_ns`` — integers so the
+        coordinator's busy + idle + wait == wall identity is *exact*,
+        never float-rounded), the number of events the shard scheduled
+        during the window (the heap sequence counter delta — the
+        zero-cost activity proxy; the hot dispatch loop is left
+        untouched), and the cross-shard mailbox volume both ways.
         """
+        t0 = time.perf_counter_ns()
         env = self.cluster.env
         for rec in records:
             arrival = rec[2] + self.lookahead
@@ -267,9 +279,17 @@ class ShardWorker:
             else:
                 env.process(self._deliver_reply(arrival, rec[5]),
                             name=f"xshard-rep:{rec[3]}:{rec[5]}")
+        seq0 = env._seq
+        t1 = time.perf_counter_ns()
         env.run(until=t_end)
-        return (self.ctx.take_outbox(), env.peek(),
-                self._done is not None and self._done.triggered)
+        t2 = time.perf_counter_ns()
+        outbox = self.ctx.take_outbox()
+        t3 = time.perf_counter_ns()
+        stats = (t2 - t1,                      # busy: simulating
+                 (t1 - t0) + (t3 - t2),        # idle: mailbox plumbing
+                 env._seq - seq0, len(outbox), len(records))
+        return (outbox, env.peek(),
+                self._done is not None and self._done.triggered, stats)
 
     def _serve_remote(self, arrival: float, src_shard: int, token: int,
                       server_id: int, client_name: str, sub):
@@ -370,6 +390,8 @@ class ShardWorker:
         stats = cl.ibridge_stats()
         if stats is not None:
             summary["ibridge"] = dict(vars(stats))
+        if cl.obs is not None and cl.obs.timeline is not None:
+            summary["timeline_rows"] = len(cl.obs.timeline.rows)
         if cl.obs is not None:
             cl.obs.finish_run()
             if cl.obs.tracer is not None:
@@ -516,14 +538,27 @@ def _route(outboxes: List[List[tuple]], nshards: int) -> List[List[tuple]]:
     return buckets
 
 
-def _run_pass(driver, nshards: int, lookahead: float, drain: bool) -> int:
+def _run_pass(driver, nshards: int, lookahead: float, drain: bool,
+              profile: Optional[List[Dict[str, Any]]] = None) -> int:
     """One full workload pass under the window protocol; returns the
-    number of window barriers executed."""
+    number of window barriers executed.
+
+    When ``profile`` is a list, every window appends one telemetry
+    record to it (the barrier profiler).  Per shard the record carries
+    busy/idle nanoseconds from the worker's own clock; the coordinator
+    derives the barrier semantics: a window's wall time is the slowest
+    shard's work time (``wall = max(busy + idle)`` — pure barrier
+    arithmetic, immune to cross-process clock skew), every other shard
+    waited out the difference (``wait = wall - work``), and the shard
+    with the maximal work *gated* the window.  All integers, so
+    ``busy + idle + wait == wall`` holds exactly for every shard.
+    """
     launches = driver.call_all("launch")
     next_times = [l[0] for l in launches]
     dones = [l[1] for l in launches]
     pending: List[List[tuple]] = [[] for _ in range(nshards)]
     windows = 0
+    t_prev: Optional[float] = None
     while not (all(dones) and not any(pending)):
         candidates = [t for t in next_times if t != _INF]
         for bucket in pending:
@@ -533,10 +568,31 @@ def _run_pass(driver, nshards: int, lookahead: float, drain: bool) -> int:
                 "sharded run cannot progress: every shard is out of "
                 "events but some ranks never finished (lost cross-shard "
                 "completion?)")
+        if t_prev is None:
+            t_prev = min(candidates)
         t_next = min(candidates) + lookahead
         results = driver.call_all(
             "window", [(t_next, pending[i]) for i in range(nshards)])
         windows += 1
+        if profile is not None:
+            stats = [r[3] for r in results]
+            busy = [s[0] for s in stats]
+            idle = [s[1] for s in stats]
+            work = [b + i for b, i in zip(busy, idle)]
+            wall = max(work)
+            profile.append({
+                "t_end": t_next,
+                "width": t_next - t_prev,
+                "wall_ns": wall,
+                "gating": work.index(wall),
+                "busy_ns": busy,
+                "idle_ns": idle,
+                "wait_ns": [wall - w for w in work],
+                "events": [s[2] for s in stats],
+                "sent": [s[3] for s in stats],
+                "recv": [s[4] for s in stats],
+            })
+        t_prev = t_next
         next_times = [r[1] for r in results]
         dones = [r[2] for r in results]
         pending = _route([r[0] for r in results], nshards)
@@ -603,14 +659,19 @@ def run_sharded_workload(cfg, workload, warm_runs: int = 0,
         if warm_runs and reset_after_warm:
             driver.call_all("reset")
         driver.call_all("mark_start")
-        windows = _run_pass(driver, nshards, lookahead, drain)
+        profile_windows: List[Dict[str, Any]] = []
+        windows = _run_pass(driver, nshards, lookahead, drain,
+                            profile=profile_windows)
         summaries = driver.call_all("finalize")
     finally:
         driver.close()
-    return _merge_results(cfg, workload, summaries, windows)
+    profile = {"nshards": nshards, "lookahead": lookahead,
+               "windows": profile_windows}
+    return _merge_results(cfg, workload, summaries, windows, profile)
 
 
-def _merge_results(cfg, workload, summaries: List[Dict], windows: int):
+def _merge_results(cfg, workload, summaries: List[Dict], windows: int,
+                   profile: Optional[Dict[str, Any]] = None):
     from ..analysis.metrics import RunResult
 
     requests = []
@@ -647,6 +708,14 @@ def _merge_results(cfg, workload, summaries: List[Dict], windows: int):
             / traces if traces else 0.0)
     result.extra["shards"] = float(len(summaries))
     result.extra["shard_windows"] = float(windows)
+    timeline_rows = sum(s.get("timeline_rows") or 0 for s in summaries)
+    if timeline_rows:
+        result.extra["timeline_rows"] = float(timeline_rows)
+    if profile is not None:
+        # Wall-clock telemetry, deliberately excluded from run_digest
+        # (the digest hashes only numeric extras): the same simulated
+        # run profiles differently on every host.
+        result.extra["shard_profile"] = profile
 
     merged = _merge_audit(cfg, summaries)
 
@@ -694,6 +763,10 @@ def run_digest(result) -> str:
     keep counting up), but ids are labels — they never influence the
     event schedule.  Floats are hashed via ``float.hex`` so the digest
     is exact, not printf-rounded.
+
+    Only numeric extras are hashed: non-numeric extras (the wall-clock
+    ``shard_profile``) are host telemetry that varies run over run on
+    identical simulated behavior.
     """
     def fhex(x):
         return None if x is None else float(x).hex()
@@ -710,8 +783,92 @@ def run_digest(result) -> str:
         "requests": [
             [r.op.value, r.rank, r.offset, r.nbytes,
              fhex(r.submit_time), fhex(r.complete_time)] for r in reqs],
-        "extra": {k: fhex(v) for k, v in sorted(result.extra.items())},
+        "extra": {k: fhex(v) for k, v in sorted(result.extra.items())
+                  if v is None or isinstance(v, (int, float))},
         "recovery": {k: fhex(v) for k, v in sorted(result.recovery.items())},
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Barrier-profile analysis
+# --------------------------------------------------------------------------
+def analyze_shard_profile(profile: Dict[str, Any]) -> Dict[str, Any]:
+    """Digest a ``result.extra["shard_profile"]`` record.
+
+    Per shard, total busy (simulating), idle (mailbox plumbing), and
+    barrier-wait nanoseconds, plus how many windows that shard gated
+    (was the slowest worker in).  The *bottleneck* shard is the one
+    with the largest total work (busy + idle) — the shard the barriers
+    spend the run waiting for.  *Parallel efficiency* is aggregate busy
+    time over aggregate wall time across all workers,
+    ``sum(busy) / (nshards * sum(wall))``: 1.0 means every worker
+    simulated for the whole run, lower means barrier waits and mailbox
+    plumbing ate the difference.
+    """
+    nshards = profile["nshards"]
+    windows = profile["windows"]
+    busy = [0] * nshards
+    idle = [0] * nshards
+    wait = [0] * nshards
+    events = [0] * nshards
+    sent = [0] * nshards
+    recv = [0] * nshards
+    gated = [0] * nshards
+    wall_total = 0
+    for w in windows:
+        wall_total += w["wall_ns"]
+        gated[w["gating"]] += 1
+        for k in range(nshards):
+            busy[k] += w["busy_ns"][k]
+            idle[k] += w["idle_ns"][k]
+            wait[k] += w["wait_ns"][k]
+            events[k] += w["events"][k]
+            sent[k] += w["sent"][k]
+            recv[k] += w["recv"][k]
+    work = [b + i for b, i in zip(busy, idle)]
+    bottleneck = work.index(max(work)) if nshards else 0
+    efficiency = (sum(busy) / (nshards * wall_total)
+                  if wall_total > 0 else 0.0)
+    widths = [w["width"] for w in windows]
+    return {
+        "nshards": nshards,
+        "lookahead": profile["lookahead"],
+        "windows": len(windows),
+        "mean_width": sum(widths) / len(widths) if widths else 0.0,
+        "wall_ns": wall_total,
+        "busy_ns": busy,
+        "idle_ns": idle,
+        "wait_ns": wait,
+        "events": events,
+        "sent": sent,
+        "recv": recv,
+        "gated_windows": gated,
+        "bottleneck": bottleneck,
+        "efficiency": efficiency,
+    }
+
+
+def format_shard_profile(profile: Dict[str, Any]) -> str:
+    """Render :func:`analyze_shard_profile` as a console table."""
+    a = analyze_shard_profile(profile)
+    ms = 1e-6  # ns -> ms
+
+    lines = [
+        f"shard barrier profile: {a['windows']} windows, "
+        f"lookahead {a['lookahead']:g}s, "
+        f"mean width {a['mean_width']:.6g}s",
+        f"parallel efficiency {a['efficiency']:.1%} "
+        f"(bottleneck: shard {a['bottleneck']})",
+        f"{'shard':>5} {'busy ms':>10} {'idle ms':>10} {'wait ms':>10} "
+        f"{'events':>9} {'sent':>7} {'recv':>7} {'gated':>6}",
+    ]
+    for k in range(a["nshards"]):
+        tag = "*" if k == a["bottleneck"] else " "
+        lines.append(
+            f"{k:>4}{tag} {a['busy_ns'][k] * ms:>10.2f} "
+            f"{a['idle_ns'][k] * ms:>10.2f} {a['wait_ns'][k] * ms:>10.2f} "
+            f"{a['events'][k]:>9} {a['sent'][k]:>7} {a['recv'][k]:>7} "
+            f"{a['gated_windows'][k]:>6}")
+    return "\n".join(lines)

@@ -154,11 +154,17 @@ class HttpQueue:
         return bool(resp["ok"])
 
     def complete(self, worker: str, job_id: int, payload: bytes,
-                 cached: bool) -> str:
-        resp = self._client._post("/complete", {
+                 cached: bool,
+                 timeline: Optional[Dict[str, float]] = None) -> str:
+        body = {
             "worker": worker, "job_id": job_id,
             "result_b64": base64.b64encode(payload).decode("ascii"),
-            "cached": cached})
+            "cached": cached}
+        if timeline:
+            # Timeline last-value summary (series -> value): the server
+            # republishes it as svc_timeline_last{series=...} gauges.
+            body["timeline"] = timeline
+        resp = self._client._post("/complete", body)
         return resp["status"]
 
     def fail(self, worker: str, job_id: int, error: str) -> str:

@@ -22,14 +22,18 @@ API (all JSON unless noted):
 ``POST /claim``        worker API: ``{"worker", "lease"}`` -> job | 204
 ``POST /heartbeat``    worker API: ``{"worker", "job_id", "lease"}``
 ``POST /complete``     worker API: ``{"worker", "job_id", "result_b64",
-                       "cached"}``
+                       "cached", "timeline"?}``
 ``POST /fail``         worker API: ``{"worker", "job_id", "error"}``
 ====================  ====================================================
 
 Metrics come from a :class:`repro.obs.MetricsRegistry` — the same
 instrument types the simulator samples — refreshed from the store on
 every scrape: queue depth per state, worker liveness, cache-hit ratio,
-and a queue-to-claim latency histogram.
+and a queue-to-claim latency histogram.  Workers that ran a
+timeline-enabled cell attach the run's last-value series summary to
+``/complete``; the server republishes each series as a
+``svc_timeline_last{series="..."}`` gauge, so one fleet scrape shows
+the final queue depths / SSD occupancy of the latest runs.
 
 The service is a trusted-network tool (results travel as pickles, like
 the on-disk cache): do not expose it to hosts you would not run code
@@ -83,6 +87,10 @@ class ExperimentService:
         self.dedup_hits = reg.counter("svc_dedup_hits_total")
         self.claim_latency = reg.histogram("svc_claim_latency_seconds",
                                            CLAIM_LATENCY_BUCKETS)
+        #: Last-seen timeline series values reported by workers on
+        #: /complete (series key -> value); each key gets a lazily
+        #: registered svc_timeline_last gauge.
+        self._timeline_last: Dict[str, float] = {}
 
     def _cache_hit_ratio(self) -> float:
         done = self._counts.get("done", 0)
@@ -105,6 +113,29 @@ class ExperimentService:
     def metrics_text(self) -> str:
         self.refresh_metrics()
         return self.registry.to_prometheus_text()
+
+    def record_timeline(self, timeline: Dict[str, Any]) -> int:
+        """Fold a worker's per-series last-value summary into /metrics.
+
+        Returns the number of series recorded; malformed entries are
+        dropped (the worker API stays permissive — a bad summary must
+        not fail the result publish riding the same request).
+        """
+        recorded = 0
+        with self._lock:
+            for series, value in timeline.items():
+                if not isinstance(series, str) \
+                        or not isinstance(value, (int, float)):
+                    continue
+                if series not in self._timeline_last:
+                    self.registry.gauge(
+                        "svc_timeline_last",
+                        (lambda s=series:
+                         float(self._timeline_last.get(s, 0.0))),
+                        series=series)
+                self._timeline_last[series] = float(value)
+                recorded += 1
+        return recorded
 
     # ------------------------------------------------------- submissions
     def submit_one(self, body: Dict[str, Any]) -> Dict[str, Any]:
@@ -243,6 +274,9 @@ class _Handler(BaseHTTPRequestHandler):
                 status = self.svc.store.complete(
                     int(body["job_id"]), body["worker"], payload,
                     cached=bool(body.get("cached", False)))
+                timeline = body.get("timeline")
+                if isinstance(timeline, dict):
+                    self.svc.record_timeline(timeline)
                 self._json(200, {"status": status})
             elif self.path == "/fail":
                 status = self.svc.store.fail(

@@ -72,6 +72,28 @@ def execute_submission(kind: str, spec: Dict[str, Any], key: str,
     raise ValueError(f"unknown job kind {kind!r}")
 
 
+def timeline_last_values(value: Any) -> Dict[str, float]:
+    """Extract a result's timeline last-value gauges (``{series: v}``).
+
+    Timeline-enabled runs attach flat ``timeline_last[<series>]`` float
+    extras to their results (see :func:`repro.workloads.base.run_workload`);
+    workers ship them with ``complete`` so the service's ``/metrics``
+    can expose the fleet's last-seen series values without ever
+    unpickling a result.  Returns ``{}`` for results without extras.
+    """
+    extra = getattr(value, "extra", None)
+    if extra is None and isinstance(value, dict):
+        extra = value.get("extra")
+    if not isinstance(extra, dict):
+        return {}
+    out: Dict[str, float] = {}
+    for key, val in extra.items():
+        if (isinstance(key, str) and key.startswith("timeline_last[")
+                and key.endswith("]") and isinstance(val, (int, float))):
+            out[key[len("timeline_last["):-1]] = float(val)
+    return out
+
+
 # ------------------------------------------------------------- queue API
 class DirectQueue:
     """Queue transport backed by direct access to the SQLite store."""
@@ -86,7 +108,10 @@ class DirectQueue:
         return self.store.heartbeat(worker, job_id, lease)
 
     def complete(self, worker: str, job_id: int, payload: bytes,
-                 cached: bool) -> str:
+                 cached: bool,
+                 timeline: Optional[Dict[str, float]] = None) -> str:
+        # Direct store access has no /metrics surface; the timeline
+        # summary only matters on the HTTP transport.
         return self.store.complete(job_id, worker, payload, cached=cached)
 
     def fail(self, worker: str, job_id: int, error: str) -> str:
@@ -165,7 +190,8 @@ class Worker:
             return
         beat_stop.set()
         beater.join()
-        status = self.queue.complete(self.id, job_id, payload, cached)
+        status = self.queue.complete(self.id, job_id, payload, cached,
+                                     timeline=timeline_last_values(value))
         self.log(f"worker {self.id}: job {job_id} "
                  f"{'cache-hit' if cached else 'executed'} -> {status}")
 

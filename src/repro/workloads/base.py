@@ -95,6 +95,14 @@ def run_workload(cluster: Cluster, workload: Workload, drain: bool = True,
             result.extra["obs_spans"] = float(len(cluster.obs.tracer.spans))
             result.extra["obs_traces"] = float(report.count)
             result.extra["obs_mean_magnification"] = report.mean_magnification
+        if cluster.obs.timeline is not None:
+            result.extra["timeline_rows"] = float(
+                len(cluster.obs.timeline.rows))
+            # Flat last-value gauges so downstream consumers (the svc
+            # worker result payload, the run report) need no timeline
+            # object — just the float extras every transport carries.
+            for key, stats in cluster.obs.timeline_summary().items():
+                result.extra[f"timeline_last[{key}]"] = stats["last"]
     if cluster.faults is not None:
         result.fault_events = [
             {"time": r.time, "phase": r.phase, "event": r.event.to_dict(),

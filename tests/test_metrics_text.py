@@ -87,6 +87,44 @@ def test_special_float_values_render():
     assert math.isnan(samples[("nan_gauge", ())])
 
 
+def test_empty_registry_round_trips_to_nothing():
+    reg = MetricsRegistry()
+    text = reg.to_prometheus_text()
+    types, samples = parse_prometheus_text(text)
+    assert types == {} and samples == {}
+
+
+def test_unobserved_histogram_exports_zero_buckets():
+    reg = MetricsRegistry()
+    reg.histogram("empty_seconds", buckets=(0.1, 1.0))
+    _, samples = parse_prometheus_text(reg.to_prometheus_text())
+    assert samples[("empty_seconds_bucket", (("le", "0.1"),))] == 0
+    assert samples[("empty_seconds_bucket", (("le", "+Inf"),))] == 0
+    assert samples[("empty_seconds_count", ())] == 0
+    assert samples[("empty_seconds_sum", ())] == 0
+
+
+def test_overflow_observations_land_only_in_inf_bucket():
+    reg = MetricsRegistry()
+    hist = reg.histogram("big_seconds", buckets=(0.1, 1.0))
+    for v in (5.0, 50.0, 500.0):
+        hist.observe(v)
+    _, samples = parse_prometheus_text(reg.to_prometheus_text())
+    assert samples[("big_seconds_bucket", (("le", "1"),))] == 0
+    assert samples[("big_seconds_bucket", (("le", "+Inf"),))] == 3
+    assert samples[("big_seconds_sum", ())] == pytest.approx(555.0)
+
+
+def test_label_escaping_survives_adjacent_labels():
+    # The regression shape: an escaped quote must not terminate the
+    # label value early and eat the neighbouring label.
+    reg = MetricsRegistry()
+    reg.counter("pair_total", a='x",b="y', c="plain").inc(7)
+    _, samples = parse_prometheus_text(reg.to_prometheus_text())
+    assert samples[("pair_total",
+                    (("a", 'x",b="y'), ("c", "plain")))] == 7
+
+
 def test_parse_rejects_malformed_line():
     with pytest.raises(ValueError, match="malformed"):
         parse_prometheus_text("good_metric 1\n}{ nonsense\n")

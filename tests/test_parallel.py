@@ -27,7 +27,8 @@ from repro.experiments import common as exp_common
 from repro.experiments.common import measure, warn_if_oversubscribed
 from repro.faults import FaultPlan, fail_slow
 from repro.pfs.cluster import Cluster
-from repro.sim.parallel import run_digest, run_sharded_workload
+from repro.sim.parallel import (analyze_shard_profile, format_shard_profile,
+                                run_digest, run_sharded_workload)
 from repro.units import KiB, MiB
 from repro.workloads.base import run_workload
 from repro.workloads.mpi_io_test import MpiIoTest
@@ -110,6 +111,59 @@ def test_sharded_ibridge_with_warm_pass_runs_clean():
     assert first.audit_verdict["ok"]
     assert run_digest(first) == run_digest(second)
     assert 0.0 <= first.ssd_fraction <= 1.0
+
+
+# ---------------------------------------------------- barrier profiler
+def test_barrier_profile_accounts_window_wall_time_exactly():
+    result = run_sharded_workload(_cfg(shards=2, shard_mode="inline"),
+                                  _workload())
+    profile = result.extra["shard_profile"]
+    assert profile["nshards"] == 2
+    assert profile["lookahead"] > 0
+    windows = profile["windows"]
+    assert len(windows) == int(result.extra["shard_windows"])
+    for w in windows:
+        assert w["width"] > 0
+        for field in ("busy_ns", "idle_ns", "wait_ns", "events",
+                      "sent", "recv"):
+            assert len(w[field]) == 2
+        # The accounting identity: every shard's busy + idle + wait
+        # equals the window's wall time *exactly* (integer ns, no
+        # float rounding), and the gating shard is the one that
+        # waited zero.
+        for k in range(2):
+            assert (w["busy_ns"][k] + w["idle_ns"][k] + w["wait_ns"][k]
+                    == w["wall_ns"])
+        assert w["wait_ns"][w["gating"]] == 0
+
+
+def test_barrier_profile_analysis_names_bottleneck():
+    result = run_sharded_workload(_cfg(shards=2, shard_mode="inline"),
+                                  _workload())
+    profile = result.extra["shard_profile"]
+    a = analyze_shard_profile(profile)
+    assert a["nshards"] == 2 and a["windows"] == len(profile["windows"])
+    # Totals are the column sums of the window records.
+    for field in ("busy_ns", "idle_ns", "wait_ns", "events"):
+        for k in range(2):
+            assert a[field][k] == sum(w[field][k]
+                                      for w in profile["windows"])
+    assert sum(a["gated_windows"]) == a["windows"]
+    assert a["bottleneck"] in (0, 1)
+    assert 0.0 < a["efficiency"] <= 1.0
+    table = format_shard_profile(profile)
+    assert "parallel efficiency" in table
+    assert f"bottleneck: shard {a['bottleneck']}" in table
+
+
+def test_barrier_profile_is_excluded_from_run_digest():
+    # The profile is host wall-clock telemetry: two identical simulated
+    # runs profile differently, so the digest must not see it.
+    result = run_sharded_workload(_cfg(shards=2, shard_mode="inline"),
+                                  _workload())
+    with_profile = run_digest(result)
+    del result.extra["shard_profile"]
+    assert run_digest(result) == with_profile
 
 
 # ------------------------------------------------ unsupported features
