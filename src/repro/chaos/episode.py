@@ -37,6 +37,7 @@ from ..devices.base import Op
 from ..errors import (AuditError, ChaosError, EpisodeBudgetError,
                       ReproError, RequestTimeoutError)
 from ..experiments.runner import stable_hash
+from ..faults.health import restoration_failures
 from ..faults.plan import FaultPlan
 from ..pfs.cluster import Cluster
 from ..workloads import IorMpiIo, MpiIoTest, recovery_snapshot, run_workload
@@ -75,6 +76,11 @@ def build_config(spec: Dict) -> ClusterConfig:
         from ..units import MiB
         config = config.with_ftl(
             capacity=max(8 * c["ssd_partition"], 64 * MiB))
+    if int(c.get("shards", 1) or 1) > 1:
+        # Inline driver only: episodes already fan out across processes
+        # at the campaign level, and pickled exceptions across worker
+        # pipes would blur the failure classification.
+        config = config.with_shards(int(c["shards"]), shard_mode="inline")
     config.validate()
     return config
 
@@ -112,34 +118,6 @@ def _budget_guard(env, budget: Dict, wall_start: float):
                 f"episode exceeded the {wall_cap}s real-time backstop")
 
 
-# -------------------------------------------------------------- oracles
-def _restoration_failures(cluster: Cluster) -> list:
-    """Post-settle recovery checks; every entry is one unhealed wound."""
-    out = []
-    for server in cluster.servers:
-        if server.crashed:
-            out.append(f"restore:server{server.id}-still-crashed")
-        if server.ssd_queue.paused:
-            out.append(f"restore:server{server.id}-ssd-queue-paused")
-        if getattr(server.ssd, "_storm_depth", 0) > 0:
-            out.append(f"restore:server{server.id}-ssd-storm-active")
-        for d, unit in enumerate(server.disks):
-            if unit.queue.paused:
-                out.append(f"restore:server{server.id}-hdd{d}-queue-paused")
-            if unit.ibridge is not None and not unit.ibridge.ssd_available:
-                out.append(f"restore:server{server.id}-disk{d}-ssd-bypass")
-    if cluster.faults is not None:
-        begun = sum(1 for r in cluster.faults.records if r.phase == "begin")
-        ended = sum(1 for r in cluster.faults.records if r.phase == "end")
-        finite = sum(1 for e in cluster.faults.plan.events
-                     if e.duration is not None)
-        if begun != len(cluster.faults.plan.events) or ended != finite:
-            out.append(f"restore:fault-log-unbalanced"
-                       f"({begun}/{len(cluster.faults.plan.events)} begun,"
-                       f" {ended}/{finite} ended)")
-    return out
-
-
 def _classify(exc: BaseException) -> str:
     if isinstance(exc, EpisodeBudgetError):
         return "budget-exceeded"
@@ -163,6 +141,8 @@ def run_episode(spec: Dict) -> EpisodeResult:
     config = build_config(spec)
     workload = build_workload(spec)
     plan = FaultPlan.from_dict(spec["faults"])
+    if config.shards > 1:
+        return _run_episode_sharded(spec, config, workload, plan)
     cluster = Cluster(config, fault_plan=plan if len(plan) else None)
     env = cluster.env
     wall_start = time.monotonic()
@@ -207,7 +187,7 @@ def run_episode(spec: Dict) -> EpisodeResult:
     if status == "ok" and recovery["exhausted_subrequests"] > 0:
         failures.append("retry-exhausted")
     if settled:
-        failures.extend(_restoration_failures(cluster))
+        failures.extend(restoration_failures(cluster))
 
     fault_log = ([{"time": round(r.time, 9), "phase": r.phase,
                    "event": r.event.to_dict()}
@@ -223,6 +203,98 @@ def run_episode(spec: Dict) -> EpisodeResult:
         "recovery": recovery,
         "verdict": verdict,
         "fault_log": fault_log,
+    }
+    result["signature"] = episode_signature(result)
+    return result
+
+
+def _coordinator_guard(budget: Dict, wall_start: float):
+    """The sharded analog of :func:`_budget_guard`.
+
+    Runs at the coordinator between window barriers — never inside a
+    shard's event heap, so it cannot perturb event order.  Sim time is
+    read from the window end, engine events from the per-window heap
+    sequence deltas summed across shards (both deterministic); the
+    wall-clock backstop stays real-time.
+    """
+    state = {"events": 0}
+    sim_cap = budget["sim_time"]
+    event_cap = budget["events"]
+    wall_cap = budget["wall_clock"]
+
+    def guard(t_end: float, events: int) -> None:
+        state["events"] += events
+        if t_end > sim_cap:
+            raise EpisodeBudgetError(
+                f"episode passed {sim_cap}s of simulated time "
+                f"(window end {t_end:.3f}s) — livelock or runaway "
+                "workload")
+        if state["events"] > event_cap:
+            raise EpisodeBudgetError(
+                f"episode scheduled more than {event_cap} engine events")
+        if time.monotonic() - wall_start > wall_cap:
+            raise EpisodeBudgetError(
+                f"episode exceeded the {wall_cap}s real-time backstop")
+
+    return guard
+
+
+def _run_episode_sharded(spec: Dict, config, workload,
+                         plan: FaultPlan) -> EpisodeResult:
+    """The episode body on the partitioned-horizon engine.
+
+    Same phases and oracles as the serial path — run, settle past the
+    horizon, drain, judge — with the coordinator merging per-shard
+    verdicts, recovery counters, restoration findings and fault logs.
+    The fault-log entries additionally carry ``index`` (plan position)
+    and ``shard`` (the injector that drove the transition); broadcast
+    events legitimately log once per shard.
+    """
+    from ..sim.parallel import (_merge_audit, merge_fault_records,
+                                merge_recovery, run_sharded_episode)
+    wall_start = time.monotonic()
+    guard = _coordinator_guard(spec["budget"], wall_start)
+    out = run_sharded_episode(
+        config, workload, fault_plan=plan if len(plan) else None,
+        settle_until=plan.horizon() + SETTLE_SLACK,
+        warm_runs=spec["workload"]["warm_runs"], guard=guard)
+    summaries = out["summaries"]
+
+    status, error = "ok", None
+    if out["error"] is not None:
+        exc = out["error"]
+        status, error = _classify(exc), f"{type(exc).__name__}: {exc}"
+
+    verdict = _merge_audit(config, summaries)
+    recovery = merge_recovery(summaries)
+    failures = []
+    if status != "ok":
+        failures.append(status)
+    if not verdict["ok"]:
+        failures.append("audit:" + "+".join(verdict["checks"]))
+    elif verdict["watchdog_fired"]:
+        failures.append("watchdog")
+    if status == "ok" and recovery["exhausted_subrequests"] > 0:
+        failures.append("retry-exhausted")
+    if out["settled"]:
+        failures.extend(sorted(out["restoration"]))
+
+    fault_log = [{"time": round(r["time"], 9), "phase": r["phase"],
+                  "event": r["event"], "index": r["index"],
+                  "shard": r["shard"]}
+                 for r in merge_fault_records(summaries)]
+    result: EpisodeResult = {
+        "spec": spec,
+        "status": status,
+        "ok": not failures,
+        "failures": failures,
+        "error": error,
+        "makespan": round(max(s["now"] for s in summaries), 9),
+        "recovery": recovery,
+        "verdict": verdict,
+        "fault_log": fault_log,
+        "shards": config.shards,
+        "windows": out["windows"],
     }
     result["signature"] = episode_signature(result)
     return result

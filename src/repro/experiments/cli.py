@@ -116,7 +116,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="partition every cluster into N shards run "
                              "by the parallel DES engine (default 1 = "
                              "serial, bit-identical to the classic "
-                             "engine; incompatible with --fault-plan)")
+                             "engine; composes with --fault-plan: the "
+                             "plan is partitioned across shard "
+                             "injectors)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the on-disk result "
                              "cache; every cell simulates from scratch")
@@ -179,9 +181,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.shards < 1:
         parser.error("--shards must be >= 1")
-    if args.shards > 1 and args.fault_plan:
-        parser.error("--shards and --fault-plan are mutually exclusive "
-                     "(fault targeting is defined on the serial engine)")
     set_default_shards(args.shards)
     # One warning, not one per cell: oversubscribing jobs x shards past
     # the machine's cores only adds context-switch overhead.

@@ -187,16 +187,12 @@ def measure(cfg: ClusterConfig, workload: Workload, warm_runs: int = 0,
     returned cluster is then ``None`` (each shard's cluster lives and
     dies in its worker).  Callers that inspect the cluster afterwards
     pass ``need_cluster=True`` (``trace_disk`` implies it) and get the
-    serial engine with a one-time warning.  Fault plans and sharding
-    are mutually exclusive (:class:`~repro.errors.ConfigError`).
+    serial engine with a one-time warning.  Fault plans compose with
+    sharding: the plan is partitioned across per-shard injectors and
+    the merged result carries cluster-wide fault/recovery telemetry.
     """
     plan = fault_plan if fault_plan is not None else _DEFAULT_FAULT_PLAN
     if cfg.shards > 1:
-        if plan is not None and len(plan):
-            from ..errors import ConfigError
-            raise ConfigError(
-                "fault plans are not supported with shards > 1 "
-                "(run with shards=1)")
         if trace_disk or need_cluster:
             # The caller needs the finished cluster object (block
             # tracers, audit runtime, ...); the sharded engine discards
@@ -205,7 +201,8 @@ def measure(cfg: ClusterConfig, workload: Workload, warm_runs: int = 0,
         else:
             from ..sim.parallel import run_sharded_workload
             result = run_sharded_workload(cfg, workload,
-                                          warm_runs=warm_runs)
+                                          warm_runs=warm_runs,
+                                          fault_plan=plan)
             return result, None
     cluster = Cluster(cfg, trace_disk=trace_disk, fault_plan=plan)
     result = run_workload(cluster, workload, warm_runs=warm_runs)

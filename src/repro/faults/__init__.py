@@ -10,7 +10,8 @@ replays bit-identically.
 """
 
 from .device import FaultableDevice, faultable
-from .injector import FaultInjector
+from .health import restoration_failures
+from .injector import FaultInjector, partition_events
 from .plan import (ALL_KINDS, FaultEvent, FaultKind, FaultPlan, FaultRecord,
                    fail_slow, gc_storm, server_outage, ssd_outage)
 
@@ -25,6 +26,8 @@ __all__ = [
     "fail_slow",
     "faultable",
     "gc_storm",
+    "partition_events",
+    "restoration_failures",
     "server_outage",
     "ssd_outage",
 ]

@@ -32,11 +32,23 @@ deterministic log, used by replay tests) and — when the run is audited —
 emitted as ``fault_begin`` / ``fault_end`` trace events.  Fail-stop
 kinds that legitimately stall block queues are flagged to the audit
 runtime so the livelock watchdog stands down for the window.
+
+Sharded runs (``repro.sim.parallel``) pass a
+:class:`~repro.sim.parallel.ShardContext` as ``shard``: the plan is
+then *partitioned* — each server/device-targeted event installs only on
+the shard that owns its target, while network windows and correlated
+fleet-wide events (``gc_storm`` with ``server=None``) install on every
+shard (the sender leg of a cross-shard message runs on the client's
+shard, the reply leg on the server's, so a net window must exist on
+both sides to be honored).  Events keep their *plan* index through the
+partition, so the drop-RNG substream key ``fault:<plan>:<idx>:drop`` is
+identical no matter which shard drives the event — and ``shards=1``
+consumes the streams exactly like the serial injector.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..net import NetFault
 from ..util.rng import rng_stream
@@ -51,15 +63,48 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: audit watchdog must not read the stall as a livelock).
 _STALLING = frozenset({FaultKind.DEVICE_FAIL, FaultKind.SERVER_CRASH})
 
+#: Kinds installed on *every* shard of a partitioned run.  Network
+#: windows affect message legs played on both endpoints' shards; a
+#: ``gc_storm`` without a target server storms each shard's local
+#: drives.  Everything else targets one server and installs only on
+#: the owning shard.
+_BROADCAST_KINDS = frozenset({FaultKind.NET_DELAY, FaultKind.NET_DROP})
+
+
+def partition_events(plan: FaultPlan, shard) -> List[Tuple[int, FaultEvent]]:
+    """The ``(plan_index, event)`` pairs one shard installs.
+
+    ``shard=None`` (the serial build) installs everything.  Indices are
+    plan positions, not partition positions — they key the drop-RNG
+    substreams and the merged-record sort, both of which must not
+    depend on how the plan was split.
+    """
+    pairs = list(enumerate(plan.events))
+    if shard is None:
+        return pairs
+    out = []
+    for idx, ev in pairs:
+        if ev.kind in _BROADCAST_KINDS or ev.server is None:
+            out.append((idx, ev))
+        elif shard.owns_server(ev.server):
+            out.append((idx, ev))
+    return out
+
 
 class FaultInjector:
     """Schedules and reverts the faults of one plan on one cluster."""
 
     def __init__(self, cluster: "Cluster", plan: FaultPlan,
-                 audit: Optional["AuditRuntime"] = None) -> None:
+                 audit: Optional["AuditRuntime"] = None,
+                 shard=None) -> None:
         plan.validate()
         self.cluster = cluster
         self.plan = plan
+        self.shard = shard
+        #: The (plan index, event) pairs this injector drives — the
+        #: whole plan serially, this shard's slice under partitioning.
+        self.events: List[Tuple[int, FaultEvent]] = partition_events(
+            plan, shard)
         self.env = cluster.env
         self.audit = audit if audit is not None else cluster.audit
         #: Chronological fault transitions (replay-determinism log).
@@ -79,8 +124,11 @@ class FaultInjector:
                     f"{ev.kind.value} targets server {ev.server}; cluster "
                     f"has {nservers}")
             if ev.kind in (FaultKind.DEVICE_SLOW, FaultKind.DEVICE_FAIL):
-                if ev.device == "hdd":
-                    ndisks = len(self.cluster.servers[ev.server].disks)
+                server = self.cluster.servers[ev.server]
+                if ev.device == "hdd" and not server.is_remote:
+                    # Remote stubs have no devices; the owning shard
+                    # runs the same bound check on the real server.
+                    ndisks = len(server.disks)
                     if ev.disk >= ndisks:
                         raise FaultError(
                             f"{ev.kind.value} targets disk {ev.disk}; server "
@@ -88,16 +136,16 @@ class FaultInjector:
 
     # ------------------------------------------------------- installation
     def install(self) -> "FaultInjector":
-        """Wrap targeted devices and start one driver per plan event."""
+        """Wrap targeted devices and start one driver per local event."""
         if self._installed:
             return self
         self._installed = True
-        for ev in self.plan.events:
+        for _idx, ev in self.events:
             if ev.kind in (FaultKind.DEVICE_SLOW, FaultKind.DEVICE_FAIL):
                 self._wrap(ev)
         # Driver creation order == plan order; the heap's sequence-number
         # tie-break then makes simultaneous windows apply in plan order.
-        for idx, ev in enumerate(self.plan.events):
+        for idx, ev in self.events:
             self.env.process(self._drive(idx, ev),
                              name=f"fault:{idx}:{ev.kind.value}")
         return self
@@ -127,11 +175,12 @@ class FaultInjector:
         yield env.timeout(ev.duration)
         if cleanup is not None:
             yield from cleanup()
-        self._record("end", ev)
+        self._record("end", ev, idx)
 
-    def _record(self, phase: str, ev: FaultEvent, **detail) -> None:
+    def _record(self, phase: str, ev: FaultEvent, idx: int,
+                **detail) -> None:
         self.records.append(FaultRecord(time=self.env.now, phase=phase,
-                                        event=ev, detail=detail))
+                                        event=ev, detail=detail, index=idx))
         if phase == "begin":
             self.active += 1
         else:
@@ -146,17 +195,17 @@ class FaultInjector:
         """Apply the fault; returns the cleanup generator-factory."""
         kind = ev.kind
         if kind is FaultKind.DEVICE_SLOW:
-            return self._begin_slow(ev)
+            return self._begin_slow(ev, idx)
         if kind is FaultKind.DEVICE_FAIL:
-            return self._begin_fail(ev)
+            return self._begin_fail(ev, idx)
         if kind is FaultKind.SSD_FAIL:
-            return (yield from self._begin_ssd_fail(ev))
+            return (yield from self._begin_ssd_fail(ev, idx))
         if kind in (FaultKind.NET_DELAY, FaultKind.NET_DROP):
             return self._begin_net(idx, ev)
         if kind is FaultKind.SERVER_CRASH:
-            return self._begin_crash(ev)
+            return self._begin_crash(ev, idx)
         if kind is FaultKind.GC_STORM:
-            return self._begin_gc_storm(ev)
+            return self._begin_gc_storm(ev, idx)
         raise AssertionError(f"unhandled fault kind {kind!r}")  # pragma: no cover
         yield  # pragma: no cover - makes _begin a generator
 
@@ -165,7 +214,7 @@ class FaultInjector:
         server = self.cluster.servers[server_id]
         return [u.ibridge for u in server.disks if u.ibridge is not None]
 
-    def _begin_slow(self, ev: FaultEvent):
+    def _begin_slow(self, ev: FaultEvent, idx: int):
         server = self.cluster.servers[ev.server]
         if ev.device == "ssd":
             wrapper: FaultableDevice = server.ssd_queue.device
@@ -178,7 +227,7 @@ class FaultInjector:
         wrapper.set_slowdown(ev.latency_mult, ev.bw_mult)
         for model in models:
             model.set_degradation(ev.latency_mult, ev.bw_mult)
-        self._record("begin", ev, latency_mult=ev.latency_mult,
+        self._record("begin", ev, idx, latency_mult=ev.latency_mult,
                      bw_mult=ev.bw_mult, device=ev.device)
 
         def cleanup():
@@ -190,7 +239,7 @@ class FaultInjector:
 
         return cleanup
 
-    def _begin_fail(self, ev: FaultEvent):
+    def _begin_fail(self, ev: FaultEvent, idx: int):
         server = self.cluster.servers[ev.server]
         if ev.device == "ssd":
             queue = server.ssd_queue
@@ -198,7 +247,7 @@ class FaultInjector:
             queue = server.disks[ev.disk].queue
         queue.device.fail_stop()
         queue.pause()
-        self._record("begin", ev, queue=queue.name)
+        self._record("begin", ev, idx, queue=queue.name)
 
         def cleanup():
             queue.device.recover()
@@ -208,10 +257,10 @@ class FaultInjector:
 
         return cleanup
 
-    def _begin_ssd_fail(self, ev: FaultEvent):
+    def _begin_ssd_fail(self, ev: FaultEvent, idx: int):
         managers = self._managers(ev.server)
         dirty = sum(m.mapping.dirty_bytes for m in managers)
-        self._record("begin", ev, policy=ev.policy, dirty_bytes=dirty)
+        self._record("begin", ev, idx, policy=ev.policy, dirty_bytes=dirty)
         procs = [self.env.process(m.ssd_fail(ev.policy),
                                   name=f"ssd-fail:{ev.server}:{i}")
                  for i, m in enumerate(managers)]
@@ -238,7 +287,8 @@ class FaultInjector:
         fault = NetFault(delay=ev.delay, drop_prob=ev.drop_prob,
                          endpoints=endpoints, rng=rng)
         self.cluster.network.add_fault(fault)
-        self._record("begin", ev, delay=ev.delay, drop_prob=ev.drop_prob)
+        self._record("begin", ev, idx, delay=ev.delay,
+                     drop_prob=ev.drop_prob)
 
         def cleanup():
             self.cluster.network.remove_fault(fault)
@@ -247,18 +297,20 @@ class FaultInjector:
 
         return cleanup
 
-    def _begin_gc_storm(self, ev: FaultEvent):
+    def _begin_gc_storm(self, ev: FaultEvent, idx: int):
         # ``server=None`` is the correlated multi-device form: every
         # drive in the fleet storms at once.  Storm state nests (a depth
-        # counter on the drive), so overlapping windows compose.
+        # counter on the drive), so overlapping windows compose.  Under
+        # sharding the fleet form installs on every shard and each shard
+        # storms only the drives it owns — the union is the fleet.
         if ev.server is None:
-            servers = list(self.cluster.servers)
+            servers = [s for s in self.cluster.servers if not s.is_remote]
         else:
             servers = [self.cluster.servers[ev.server]]
         drives = [s.ssd for s in servers]
         for drive in drives:
             drive.gc_storm_begin()
-        self._record("begin", ev, drives=len(drives))
+        self._record("begin", ev, idx, drives=len(drives))
 
         def cleanup():
             for drive in drives:
@@ -268,10 +320,10 @@ class FaultInjector:
 
         return cleanup
 
-    def _begin_crash(self, ev: FaultEvent):
+    def _begin_crash(self, ev: FaultEvent, idx: int):
         server = self.cluster.servers[ev.server]
         server.crash()
-        self._record("begin", ev, epoch=server.epoch)
+        self._record("begin", ev, idx, epoch=server.epoch)
 
         def cleanup():
             server.restart()

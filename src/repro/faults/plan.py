@@ -327,6 +327,10 @@ class FaultRecord:
     phase: str          # "begin" | "end"
     event: FaultEvent
     detail: dict = field(default_factory=dict)
+    #: Position of ``event`` in its plan.  Partition-independent: a
+    #: sharded injector records the same index the serial one does, so
+    #: merged logs sort and compare across shard counts.
+    index: int = -1
 
     def signature(self) -> tuple:
         """Hashable identity used by determinism tests."""

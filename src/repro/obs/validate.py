@@ -38,6 +38,7 @@ KNOWN_METRICS = frozenset({
     "svc_jobs", "svc_results", "svc_workers_alive", "svc_workers_known",
     "svc_cache_hit_ratio", "svc_submissions_total", "svc_dedup_hits_total",
     "svc_claim_latency_seconds", "svc_timeline_last",
+    "svc_client_retries",
 })
 
 

@@ -57,7 +57,10 @@ class Cluster:
 
         ``fault_plan`` (a :class:`repro.faults.FaultPlan`) installs a
         fault injector over the finished cluster; the injector is
-        exposed as :attr:`faults`.
+        exposed as :attr:`faults`.  Combined with ``shard`` the plan is
+        *partitioned*: this injector drives only the events targeting
+        locally-owned servers, plus broadcast kinds (network windows,
+        fleet-wide storms) — see ``repro.faults.partition_events``.
 
         ``shard`` (a :class:`repro.sim.parallel.ShardContext`) builds
         this cluster as one shard of a partitioned run: servers owned by
@@ -69,11 +72,6 @@ class Cluster:
         self.config = config or ClusterConfig()
         self.config.validate()
         self.shard = shard
-        if shard is not None and fault_plan is not None and len(fault_plan):
-            raise ConfigError(
-                "fault plans are not supported with shards > 1: fault "
-                "targeting and drop RNG substreams are defined against "
-                "the whole-cluster topology (run with shards=1)")
         self.env = Environment()
         self.layout = StripeLayout(self.config.stripe_unit,
                                    self.config.num_servers)
@@ -132,8 +130,8 @@ class Cluster:
         self.faults = None
         if fault_plan is not None and len(fault_plan):
             from ..faults import FaultInjector
-            self.faults = FaultInjector(self, fault_plan,
-                                        audit=self.audit).install()
+            self.faults = FaultInjector(self, fault_plan, audit=self.audit,
+                                        shard=shard).install()
             if self.obs is not None:
                 # Fault begin/end records double as timeline marks.
                 self.obs.attach_faults(self.faults)

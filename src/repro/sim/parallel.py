@@ -35,6 +35,16 @@ shard replays arrival → ``server.submit`` → service → reply leg and
 posts a reply record that completes the client's (shared, late-reply
 safe) attempt event.
 
+Fault plans partition with the cluster: each shard's injector drives
+the plan events targeting its own servers, while network windows and
+fleet-wide storms install on every shard (a cross-shard round trip
+plays its request leg on the client's shard and its reply leg on the
+server's, so a net window must exist on both to be honored).  Drop-RNG
+substreams are keyed by plan name + *plan* event index — never by the
+partition — and the coordinator merges transition logs, recovery
+counters and restoration checks (:func:`merge_fault_records`,
+:func:`merge_recovery`, :func:`run_sharded_episode`).
+
 Determinism: for a fixed ``(seed, shards)`` the partition, the window
 schedule, the per-destination record order (sorted by departure time,
 source shard, sequence number) and every per-shard heap order are all
@@ -215,12 +225,14 @@ class ShardWorker:
     """
 
     def __init__(self, cfg, workload_pickle: bytes, shard_id: int,
-                 nshards: int, lookahead: float) -> None:
+                 nshards: int, lookahead: float,
+                 fault_plan=None) -> None:
         self.cfg = _shard_config(cfg, shard_id)
         self.workload = pickle.loads(workload_pickle)
         self.shard_id = shard_id
         self.nshards = nshards
         self.lookahead = lookahead
+        self.fault_plan = fault_plan
         self.ctx = ShardContext(shard_id, nshards)
         self.cluster = None
         self._run = None
@@ -232,7 +244,8 @@ class ShardWorker:
     # ------------------------------------------------------------ lifecycle
     def setup(self) -> int:
         from ..pfs.cluster import Cluster
-        self.cluster = Cluster(self.cfg, shard=self.ctx)
+        self.cluster = Cluster(self.cfg, shard=self.ctx,
+                               fault_plan=self.fault_plan)
         self.ctx.env = self.cluster.env
         self.workload.prepare(self.cluster)
         return self.shard_id
@@ -325,25 +338,41 @@ class ShardWorker:
         self.cluster.drain()
         return self.cluster.env.now
 
+    def peek(self) -> float:
+        """Next local event time (seeds the settle loop's candidates)."""
+        return self.cluster.env.peek()
+
     def sync(self, t: float) -> float:
         """Advance the local clock to the cluster-wide time ``t``.
 
         Used after per-shard drains (which advance clocks unevenly) so
         the next pass's cross-shard departures share one time base.  No
-        rank is active during a sync, so the outbox must stay empty.
+        rank is active during a sync, so request traffic in the outbox
+        is a protocol violation.  Leftover *replies* are legal under
+        faults: a retried sub-request's earlier serving can complete
+        during the drain, after its client already resolved the shared
+        attempt event — delivering them would be a no-op, so they are
+        dropped here instead of routed.
         """
         env = self.cluster.env
         if t > env.now or env.peek() <= t:
             env.run(until=t)
-        if self.ctx.outbox:
+        leftover = self.ctx.take_outbox()
+        if any(rec[0] != "rep" for rec in leftover):
             raise SimulationError(
-                f"shard {self.shard_id}: cross-shard traffic during "
-                "clock sync (rank still active after its pass ended)")
+                f"shard {self.shard_id}: cross-shard request traffic "
+                "during clock sync (rank still active after its pass "
+                "ended)")
         return env.now
 
     def reset(self) -> None:
         from ..workloads.base import _reset_measurement_state
         _reset_measurement_state(self.cluster)
+
+    def health(self) -> List[str]:
+        """This shard's restoration oracle (meaningful once settled)."""
+        from ..faults.health import restoration_failures
+        return restoration_failures(self.cluster)
 
     def mark_start(self) -> float:
         """Begin the measured pass: align telemetry, snapshot baselines."""
@@ -390,6 +419,14 @@ class ShardWorker:
         stats = cl.ibridge_stats()
         if stats is not None:
             summary["ibridge"] = dict(vars(stats))
+        from ..workloads.base import recovery_snapshot
+        summary["recovery"] = recovery_snapshot(cl)
+        if cl.faults is not None:
+            summary["fault_records"] = [
+                {"time": r.time, "phase": r.phase,
+                 "event": r.event.to_dict(), "detail": dict(r.detail),
+                 "index": r.index}
+                for r in cl.faults.records]
         if cl.obs is not None and cl.obs.timeline is not None:
             summary["timeline_rows"] = len(cl.obs.timeline.rows)
         if cl.obs is not None:
@@ -539,7 +576,8 @@ def _route(outboxes: List[List[tuple]], nshards: int) -> List[List[tuple]]:
 
 
 def _run_pass(driver, nshards: int, lookahead: float, drain: bool,
-              profile: Optional[List[Dict[str, Any]]] = None) -> int:
+              profile: Optional[List[Dict[str, Any]]] = None,
+              guard=None) -> int:
     """One full workload pass under the window protocol; returns the
     number of window barriers executed.
 
@@ -552,6 +590,13 @@ def _run_pass(driver, nshards: int, lookahead: float, drain: bool,
     waited out the difference (``wait = wall - work``), and the shard
     with the maximal work *gated* the window.  All integers, so
     ``busy + idle + wait == wall`` holds exactly for every shard.
+
+    ``guard`` (the chaos budget hook) is called after every window as
+    ``guard(t_end, events)`` with the window's end time and the total
+    engine events the shards scheduled in it; it raises
+    :class:`~repro.errors.EpisodeBudgetError` to abort a runaway
+    episode.  It runs at the coordinator — never inside a shard's heap
+    — so it cannot perturb event order.
     """
     launches = driver.call_all("launch")
     next_times = [l[0] for l in launches]
@@ -593,6 +638,8 @@ def _run_pass(driver, nshards: int, lookahead: float, drain: bool,
                 "recv": [s[4] for s in stats],
             })
         t_prev = t_next
+        if guard is not None:
+            guard(t_next, sum(r[3][2] for r in results))
         next_times = [r[1] for r in results]
         dones = [r[2] for r in results]
         pending = _route([r[0] for r in results], nshards)
@@ -600,6 +647,41 @@ def _run_pass(driver, nshards: int, lookahead: float, drain: bool,
         nows = driver.call_all("drain")
         t_sync = max(nows)
         driver.call_all("sync", [(t_sync,) for _ in range(nshards)])
+    return windows
+
+
+def _run_settle(driver, nshards: int, lookahead: float, until: float,
+                guard=None) -> int:
+    """Advance every shard past ``until`` (the plan's fault horizon).
+
+    The rank bodies are done; what is still live is the injector's
+    cleanup transitions, recovery writeback, and any straggling
+    cross-shard serves from retried sub-requests.  The same window
+    protocol as :func:`_run_pass` runs them out — candidates are local
+    events *before* ``until`` plus every pending cross-shard arrival —
+    and a final ``sync`` aligns all clocks at the horizon (dropping
+    late replies; see :meth:`ShardWorker.sync`).  Returns the number of
+    windows executed.
+    """
+    next_times = driver.call_all("peek")
+    pending: List[List[tuple]] = [[] for _ in range(nshards)]
+    windows = 0
+    while True:
+        candidates = [t for t in next_times if t < until]
+        for bucket in pending:
+            # Pending mail must be delivered regardless of the horizon.
+            candidates.extend(rec[2] + lookahead for rec in bucket)
+        if not candidates:
+            break
+        t_next = min(candidates) + lookahead
+        results = driver.call_all(
+            "window", [(t_next, pending[i]) for i in range(nshards)])
+        windows += 1
+        if guard is not None:
+            guard(t_next, sum(r[3][2] for r in results))
+        next_times = [r[1] for r in results]
+        pending = _route([r[0] for r in results], nshards)
+    driver.call_all("sync", [(until,) for _ in range(nshards)])
     return windows
 
 
@@ -619,9 +701,24 @@ def _merge_audit(cfg, summaries: List[Dict]) -> Optional[Dict]:
     }
 
 
+def _shard_specs(cfg, workload, nshards: int, lookahead: float,
+                 fault_plan=None) -> List[Dict]:
+    wire = pickle.dumps(workload)
+    return [{"cfg": cfg, "workload_pickle": wire, "shard_id": k,
+             "nshards": nshards, "lookahead": lookahead,
+             "fault_plan": fault_plan}
+            for k in range(nshards)]
+
+
+def _lookahead(cfg) -> float:
+    return (cfg.shard_lookahead if cfg.shard_lookahead is not None
+            else cfg.network.latency)
+
+
 def run_sharded_workload(cfg, workload, warm_runs: int = 0,
                          drain: bool = True,
-                         reset_after_warm: bool = True):
+                         reset_after_warm: bool = True,
+                         fault_plan=None):
     """Run ``workload`` on a cluster partitioned into ``cfg.shards``.
 
     The sharded analog of :func:`repro.workloads.base.run_workload`
@@ -632,23 +729,27 @@ def run_sharded_workload(cfg, workload, warm_runs: int = 0,
     audit verdict (plus the cross-shard byte-conservation check) on
     ``result.audit_verdict``.  ``shards=1`` routes through the serial
     engine unchanged and is bit-identical to it.
+
+    ``fault_plan`` installs the plan *partitioned* across the shard
+    injectors (see ``repro.faults.partition_events``); the merged
+    result carries the coordinator-sorted transition log on
+    ``result.fault_events`` (each record tagged with its driving shard)
+    and the key-wise sum of the per-shard recovery snapshots on
+    ``result.recovery``.
     """
     cfg.validate()
     if cfg.shards <= 1:
         from ..pfs.cluster import Cluster
         from ..workloads.base import run_workload
-        cluster = Cluster(cfg)
+        cluster = Cluster(cfg, fault_plan=fault_plan)
         return run_workload(cluster, workload, drain=drain,
                             warm_runs=warm_runs,
                             reset_after_warm=reset_after_warm)
 
     nshards = cfg.shards
-    lookahead = (cfg.shard_lookahead if cfg.shard_lookahead is not None
-                 else cfg.network.latency)
-    wire = pickle.dumps(workload)
-    specs = [{"cfg": cfg, "workload_pickle": wire, "shard_id": k,
-              "nshards": nshards, "lookahead": lookahead}
-             for k in range(nshards)]
+    lookahead = _lookahead(cfg)
+    specs = _shard_specs(cfg, workload, nshards, lookahead,
+                         fault_plan=fault_plan)
     driver_cls = (_InlineDriver if cfg.shard_mode == "inline"
                   else _ProcessDriver)
     driver = driver_cls(specs)
@@ -668,6 +769,107 @@ def run_sharded_workload(cfg, workload, warm_runs: int = 0,
     profile = {"nshards": nshards, "lookahead": lookahead,
                "windows": profile_windows}
     return _merge_results(cfg, workload, summaries, windows, profile)
+
+
+def run_sharded_episode(cfg, workload, fault_plan=None,
+                        settle_until: Optional[float] = None,
+                        warm_runs: int = 0, guard=None) -> Dict:
+    """Chaos-shaped sharded run: pass, settle past the horizon, drain.
+
+    The sharded analog of the chaos episode body: never raises for
+    in-simulation failures — the first :class:`~repro.errors.ReproError`
+    out of the window protocol is caught and returned, the workers are
+    *always* finalized (they survive per-RPC exceptions), and the
+    restoration oracle is read only when the settle completed.  Mirrors
+    the serial runner's budget semantics: a budget abort skips the
+    settle (the run is torn anyway).
+
+    Returns a dict with ``summaries`` (per-shard finalize payloads),
+    ``error`` (the caught exception or ``None``), ``settled``,
+    ``restoration`` (concatenated per-shard oracle findings), and
+    ``windows``.
+    """
+    from ..errors import EpisodeBudgetError, ReproError
+    cfg.validate()
+    nshards = cfg.shards
+    lookahead = _lookahead(cfg)
+    specs = _shard_specs(cfg, workload, nshards, lookahead,
+                         fault_plan=fault_plan)
+    driver_cls = (_InlineDriver if cfg.shard_mode == "inline"
+                  else _ProcessDriver)
+    driver = driver_cls(specs)
+    error: Optional[BaseException] = None
+    settled = False
+    windows = 0
+    restoration: List[str] = []
+    try:
+        driver.call_all("setup")
+        try:
+            for _ in range(max(0, warm_runs)):
+                windows += _run_pass(driver, nshards, lookahead,
+                                     drain=True, guard=guard)
+            if warm_runs:
+                driver.call_all("reset")
+            driver.call_all("mark_start")
+            windows += _run_pass(driver, nshards, lookahead, drain=True,
+                                 guard=guard)
+        except ReproError as exc:
+            error = exc
+        if not isinstance(error, EpisodeBudgetError):
+            try:
+                if settle_until is not None:
+                    windows += _run_settle(driver, nshards, lookahead,
+                                           settle_until, guard=guard)
+                nows = driver.call_all("drain")
+                driver.call_all("sync",
+                                [(max(nows),) for _ in range(nshards)])
+                settled = True
+            except ReproError as exc:
+                if error is None:
+                    error = exc
+        if settled:
+            for failures in driver.call_all("health"):
+                restoration.extend(failures)
+        summaries = driver.call_all("finalize")
+    finally:
+        driver.close()
+    return {"summaries": summaries, "error": error, "settled": settled,
+            "restoration": restoration, "windows": windows}
+
+
+def merge_fault_records(summaries: List[Dict]) -> List[Dict]:
+    """One cluster-wide fault transition log from per-shard injectors.
+
+    Records are tagged with the shard that drove them and sorted on
+    ``(time, plan index, begin-before-end, shard)`` — the serial
+    injector's chronological/plan order, so a targeted-only plan's
+    merged log equals the serial log modulo the ``shard`` tags.
+    Broadcast events (network windows, fleet storms) legitimately
+    appear once per shard: each shard applied the window to its own
+    fabric view, and the merged log says so.
+    """
+    events: List[Dict] = []
+    for s in summaries:
+        for rec in s.get("fault_records") or ():
+            events.append(dict(rec, shard=s["shard"]))
+    events.sort(key=lambda r: (r["time"], r["index"],
+                               0 if r["phase"] == "begin" else 1,
+                               r["shard"]))
+    return events
+
+
+def merge_recovery(summaries: List[Dict]) -> Dict[str, float]:
+    """Key-wise sum of per-shard recovery snapshots.
+
+    Every counter in :func:`repro.workloads.base.recovery_snapshot` is
+    a sum over disjoint per-shard populations (local clients, local
+    servers, the local fabric view), so addition is the exact merge.
+    """
+    merged: Dict[str, float] = {}
+    for s in summaries:
+        for key, value in (s.get("recovery") or {}).items():
+            merged[key] = merged.get(key, 0.0) + value
+    return merged
 
 
 def _merge_results(cfg, workload, summaries: List[Dict], windows: int,
@@ -708,6 +910,9 @@ def _merge_results(cfg, workload, summaries: List[Dict], windows: int,
             / traces if traces else 0.0)
     result.extra["shards"] = float(len(summaries))
     result.extra["shard_windows"] = float(windows)
+    if any(s.get("fault_records") is not None for s in summaries):
+        result.fault_events = merge_fault_records(summaries)
+        result.recovery = merge_recovery(summaries)
     timeline_rows = sum(s.get("timeline_rows") or 0 for s in summaries)
     if timeline_rows:
         result.extra["timeline_rows"] = float(timeline_rows)

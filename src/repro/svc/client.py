@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import base64
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -31,35 +32,73 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Thin JSON-over-HTTP client for one service endpoint."""
+    """Thin JSON-over-HTTP client for one service endpoint.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Transient transport failures (connection refused during a server
+    restart, a socket timeout, a dropped connection) are retried up to
+    ``retries`` times with capped exponential backoff plus full jitter.
+    An *HTTP* error is never retried — the server answered, and every
+    4xx/5xx it produces is deterministic for a given request — it
+    surfaces immediately as :class:`ServiceError`.  Each retry bumps
+    ``retries_total`` and, when a metrics registry is attached, the
+    ``svc_client_retries`` counter.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, backoff: float = 0.1,
+                 backoff_cap: float = 2.0, metrics=None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        #: Total transient-error retries performed by this client.
+        self.retries_total = 0
+        self._retry_counter = (metrics.counter("svc_client_retries")
+                               if metrics is not None else None)
+        self._jitter = random.Random()
 
     # ----------------------------------------------------------- plumbing
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
                  raw: bool = False) -> Any:
         data = None if body is None else json.dumps(body).encode("utf-8")
-        req = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"})
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                payload = resp.read()
-                if resp.status == 204 or not payload:
-                    return None
-                if raw:
-                    return payload
-                return json.loads(payload.decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode("utf-8", "replace")
+        for attempt in range(self.retries + 1):
+            req = urllib.request.Request(
+                self.base_url + path, data=data, method=method,
+                headers={"Content-Type": "application/json"})
             try:
-                detail = json.loads(detail).get("error", detail)
-            except ValueError:
-                pass
-            raise ServiceError(exc.code, detail) from None
+                with urllib.request.urlopen(req,
+                                            timeout=self.timeout) as resp:
+                    payload = resp.read()
+                    if resp.status == 204 or not payload:
+                        return None
+                    if raw:
+                        return payload
+                    return json.loads(payload.decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # Must precede URLError (HTTPError subclasses it): the
+                # server answered, so retrying cannot help.
+                detail = exc.read().decode("utf-8", "replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except ValueError:
+                    pass
+                raise ServiceError(exc.code, detail) from None
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError):
+                if attempt >= self.retries:
+                    raise
+                self._count_retry()
+                delay = min(self.backoff_cap,
+                            self.backoff * (2.0 ** attempt))
+                time.sleep(delay * self._jitter.uniform(0.5, 1.0))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _count_retry(self) -> None:
+        self.retries_total += 1
+        if self._retry_counter is not None:
+            self._retry_counter.inc()
 
     def _get(self, path: str, raw: bool = False) -> Any:
         return self._request("GET", path, raw=raw)
@@ -138,10 +177,26 @@ class ServiceClient:
 
 
 class HttpQueue:
-    """Worker-side queue transport over the server's worker API."""
+    """Worker-side queue transport over the server's worker API.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
-        self._client = ServiceClient(base_url, timeout=timeout)
+    Inherits :class:`ServiceClient`'s transient-error retry: a worker
+    riding out a brief server restart keeps its claim loop alive
+    instead of dying on the first connection refusal.  The worker API
+    is idempotent per (worker, job) pair, so replaying a claim,
+    heartbeat, complete or fail after an ambiguous failure is safe.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, backoff: float = 0.1,
+                 backoff_cap: float = 2.0, metrics=None) -> None:
+        self._client = ServiceClient(base_url, timeout=timeout,
+                                     retries=retries, backoff=backoff,
+                                     backoff_cap=backoff_cap,
+                                     metrics=metrics)
+
+    @property
+    def retries_total(self) -> int:
+        return self._client.retries_total
 
     def claim(self, worker: str, lease: float) -> Optional[Dict[str, Any]]:
         return self._client._post("/claim", {"worker": worker,

@@ -106,7 +106,7 @@ def run_workload(cluster: Cluster, workload: Workload, drain: bool = True,
     if cluster.faults is not None:
         result.fault_events = [
             {"time": r.time, "phase": r.phase, "event": r.event.to_dict(),
-             "detail": dict(r.detail)}
+             "detail": dict(r.detail), "index": r.index}
             for r in cluster.faults.records]
         result.recovery = recovery_snapshot(cluster)
     return result

@@ -1,0 +1,92 @@
+"""The offline fault-plan linter: ``python -m repro.faults validate``."""
+
+import json
+
+import pytest
+
+from repro.faults.cli import main
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+VALID = {
+    "name": "demo",
+    "events": [
+        {"kind": "device_slow", "server": 0, "device": "hdd", "disk": 0,
+         "start": 0.01, "duration": 0.05, "latency_mult": 4.0},
+        {"kind": "server_crash", "server": 1, "start": 0.02,
+         "duration": 0.03},
+    ],
+}
+
+
+def test_validate_accepts_a_well_formed_plan(tmp_path, capsys):
+    path = _write(tmp_path, "plan.json", VALID)
+    assert main(["validate", path]) == 0
+    out = capsys.readouterr().out
+    assert "ok: plan 'demo': 2 event(s)" in out
+    assert "horizon 0.06s" in out
+    assert "device_slow" in out and "server_crash" in out
+
+
+def test_validate_rejects_overlapping_windows(tmp_path, capsys):
+    bad = {"name": "demo", "events": [
+        dict(VALID["events"][0]),
+        dict(VALID["events"][0], start=0.02, latency_mult=2.0),
+    ]}
+    path = _write(tmp_path, "plan.json", bad)
+    assert main(["validate", path]) == 1
+    assert "overlapping" in capsys.readouterr().err
+
+
+def test_validate_rejects_schema_violations(tmp_path, capsys):
+    path = _write(tmp_path, "plan.json", {
+        "name": "demo",
+        "events": [{"kind": "net_drop", "start": 0.0, "duration": 0.1,
+                    "drop_prob": 1.5}]})
+    assert main(["validate", path]) == 1
+    assert "invalid:" in capsys.readouterr().err
+
+
+def test_validate_checks_topology_bounds_when_asked(tmp_path, capsys):
+    path = _write(tmp_path, "plan.json", VALID)
+    # Fine without topology flags and with a big-enough cluster...
+    assert main(["validate", path, "--num-servers", "4",
+                 "--disks-per-server", "1"]) == 0
+    capsys.readouterr()
+    # ...but server 1 does not exist in a 1-server cluster,
+    assert main(["validate", path, "--num-servers", "1"]) == 1
+    assert "targets server 1" in capsys.readouterr().err
+    # and disk bounds only bind when --disks-per-server is given.
+    path2 = _write(tmp_path, "disk.json", {
+        "name": "d", "events": [
+            {"kind": "device_slow", "server": 0, "device": "hdd",
+             "disk": 3, "start": 0.0, "duration": 0.1,
+             "latency_mult": 2.0}]})
+    assert main(["validate", path2, "--num-servers", "2",
+                 "--disks-per-server", "2"]) == 1
+    assert "targets disk 3" in capsys.readouterr().err
+
+
+def test_validate_reports_unreadable_files(tmp_path, capsys):
+    assert main(["validate", str(tmp_path / "missing.json")]) == 1
+    assert "cannot read" in capsys.readouterr().err
+    bad = tmp_path / "garbage.json"
+    bad.write_text("{not json")
+    assert main(["validate", str(bad)]) == 1
+    assert "invalid:" in capsys.readouterr().err
+
+
+def test_disks_flag_requires_num_servers(tmp_path, capsys):
+    path = _write(tmp_path, "plan.json", VALID)
+    assert main(["validate", path, "--disks-per-server", "2"]) == 1
+    assert "--num-servers" in capsys.readouterr().err
+
+
+def test_module_entry_point_exists():
+    import repro.faults.__main__  # noqa: F401
+    pytest.importorskip("repro.faults.cli")

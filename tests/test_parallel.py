@@ -10,8 +10,11 @@ The contract under test, in order of importance:
 * Sharding never loses work: every shard count completes the serial
   run's requests and moves the same bytes, and the cross-shard
   conservation ledger agrees (``xshard_conserved``).
-* Features the protocol cannot support (fault plans, barriers,
-  collectives) fail loudly, not wrongly.
+* Fault plans compose with sharding: partitioned injectors replay the
+  serial transition log (modulo shard tags), recovery telemetry merges
+  at the coordinator, and client retry works across the mailbox.
+* Features the protocol cannot support (barriers, collectives) fail
+  loudly, not wrongly.
 * The experiment-matrix cache treats the shard count as context: a
   result computed at one shard count is never replayed at another.
 """
@@ -166,13 +169,103 @@ def test_barrier_profile_is_excluded_from_run_digest():
     assert run_digest(result) == with_profile
 
 
+# ---------------------------------------------------- faults under shards
+def _fault_plan() -> FaultPlan:
+    # Targeted-only events (no broadcast kinds) with fixed windows, so
+    # the merged transition log is comparable across shard counts.
+    return FaultPlan(name="t", events=(
+        fail_slow(0, 2.0, start=0.001, duration=0.01),
+        fail_slow(3, 3.0, start=0.002, duration=0.01),
+    ))
+
+
+def test_faulted_shards1_is_bit_identical_to_serial():
+    serial = run_workload(Cluster(_cfg(), fault_plan=_fault_plan()),
+                          _workload())
+    sharded = run_sharded_workload(_cfg(shards=1), _workload(),
+                                   fault_plan=_fault_plan())
+    assert run_digest(sharded) == run_digest(serial)
+
+
+def test_faulted_sharded_run_is_deterministic_and_audited():
+    cfg = _cfg(shards=2, shard_mode="inline").with_audit()
+    first = run_sharded_workload(cfg, _workload(),
+                                 fault_plan=_fault_plan())
+    second = run_sharded_workload(cfg, _workload(),
+                                  fault_plan=_fault_plan())
+    assert run_digest(first) == run_digest(second)
+    assert first.audit_verdict["ok"]
+    assert first.recovery["timeouts"] == 0.0
+    assert all(r.complete_time is not None for r in first.requests)
+
+
+def test_injector_records_match_across_shard_counts():
+    serial = run_workload(Cluster(_cfg(), fault_plan=_fault_plan()),
+                          _workload())
+    sharded = run_sharded_workload(_cfg(shards=2), _workload(),
+                                   fault_plan=_fault_plan())
+
+    def strip(events):
+        return [{k: v for k, v in e.items() if k != "shard"}
+                for e in events]
+
+    assert strip(sharded.fault_events) == serial.fault_events
+    # Every targeted event was driven by the shard owning its server.
+    for e in sharded.fault_events:
+        assert e["shard"] == e["event"]["server"] % 2
+
+
+def test_crash_recovery_and_retry_across_the_mailbox():
+    from repro.faults import server_outage
+    plan = FaultPlan(name="crash", events=(
+        server_outage(1, start=0.002, duration=0.01),))
+    cfg = (_cfg(shards=2, shard_mode="inline")
+           .with_retry(timeout=0.005, max_retries=20))
+    first = run_sharded_workload(cfg, _workload(), fault_plan=plan)
+    second = run_sharded_workload(cfg, _workload(), fault_plan=plan)
+    assert run_digest(first) == run_digest(second)
+    assert first.recovery["server_crashes"] == 1.0
+    assert first.recovery["timeouts"] > 0
+    assert first.recovery["retries"] > 0
+    assert all(r.complete_time is not None for r in first.requests)
+
+
+def test_net_fault_window_is_broadcast_and_deterministic():
+    from repro.faults.plan import FaultEvent, FaultKind
+    plan = FaultPlan(name="net", events=(
+        FaultEvent(kind=FaultKind.NET_DROP, server=1, start=0.0,
+                   duration=0.01, drop_prob=0.3),))
+    cfg = (_cfg(shards=2, shard_mode="inline")
+           .with_retry(timeout=0.005, max_retries=20))
+    first = run_sharded_workload(cfg, _workload(), fault_plan=plan)
+    second = run_sharded_workload(cfg, _workload(), fault_plan=plan)
+    assert run_digest(first) == run_digest(second)
+    # Broadcast kind: both shards installed the window on their fabric
+    # view, so the merged log carries one begin/end pair per shard.
+    begins = [e for e in first.fault_events if e["phase"] == "begin"]
+    assert sorted(e["shard"] for e in begins) == [0, 1]
+    assert all(r.complete_time is not None for r in first.requests)
+
+
+def test_process_driver_matches_inline_driver_under_faults():
+    inline = run_sharded_workload(_cfg(shards=2, shard_mode="inline"),
+                                  _workload(), fault_plan=_fault_plan())
+    proc = run_sharded_workload(_cfg(shards=2, shard_mode="process"),
+                                _workload(), fault_plan=_fault_plan())
+    assert run_digest(proc) == run_digest(inline)
+    assert proc.fault_events == inline.fault_events
+
+
+def test_measure_threads_fault_plans_to_the_sharded_engine():
+    result, cluster = measure(_cfg(shards=2), _workload(),
+                              fault_plan=_fault_plan())
+    assert cluster is None
+    assert result.extra["shards"] == 2.0
+    assert len(result.fault_events) == 4
+    assert result.recovery["timeouts"] == 0.0
+
+
 # ------------------------------------------------ unsupported features
-def test_fault_plans_are_rejected_with_shards():
-    plan = FaultPlan(events=(fail_slow(0, 2.0, start=0.1, duration=0.5),))
-    with pytest.raises(ConfigError):
-        measure(_cfg(shards=2), _workload(), fault_plan=plan)
-
-
 def test_barrier_workloads_are_rejected_with_shards():
     workload = MpiIoTest(nprocs=4, request_size=65 * KiB,
                          file_size=1 * MiB, use_barrier=True)

@@ -1,0 +1,134 @@
+"""Transient-error retry in the service HTTP client.
+
+A worker's claim loop must survive a brief server restart: connection
+errors retry with capped exponential backoff + jitter and are counted
+in the ``svc_client_retries`` metric, while HTTP errors (the server
+answered) surface immediately as :class:`ServiceError`.
+"""
+
+import io
+import json
+import urllib.error
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.svc.client import HttpQueue, ServiceClient, ServiceError
+
+
+class _FakeResponse:
+    status = 200
+
+    def __init__(self, payload):
+        self._payload = json.dumps(payload).encode("utf-8")
+
+    def read(self):
+        return self._payload
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _no_sleep(monkeypatch, sleeps):
+    monkeypatch.setattr("repro.svc.client.time.sleep", sleeps.append)
+
+
+def test_transient_errors_retry_then_succeed(monkeypatch):
+    calls, sleeps = [], []
+    _no_sleep(monkeypatch, sleeps)
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(req.full_url)
+        if len(calls) < 3:
+            raise urllib.error.URLError(ConnectionRefusedError(111))
+        return _FakeResponse({"ok": True})
+
+    monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+    reg = MetricsRegistry()
+    client = ServiceClient("http://svc.test", retries=3, backoff=0.1,
+                           backoff_cap=2.0, metrics=reg)
+    assert client._get("/healthz") == {"ok": True}
+    assert len(calls) == 3
+    assert client.retries_total == 2
+    assert reg.counter("svc_client_retries").value == 2.0
+    # Backoff grows and carries jitter in [0.5, 1.0] of the nominal.
+    assert len(sleeps) == 2
+    assert 0.05 <= sleeps[0] <= 0.1
+    assert 0.1 <= sleeps[1] <= 0.2
+
+
+def test_retries_exhausted_reraises_the_transport_error(monkeypatch):
+    sleeps = []
+    _no_sleep(monkeypatch, sleeps)
+    attempts = []
+
+    def fake_urlopen(req, timeout=None):
+        attempts.append(1)
+        raise urllib.error.URLError("down")
+
+    monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+    client = ServiceClient("http://svc.test", retries=2)
+    with pytest.raises(urllib.error.URLError):
+        client._get("/jobs")
+    assert len(attempts) == 3  # initial try + 2 retries
+    assert client.retries_total == 2
+
+
+def test_http_errors_are_never_retried(monkeypatch):
+    sleeps = []
+    _no_sleep(monkeypatch, sleeps)
+    attempts = []
+
+    def fake_urlopen(req, timeout=None):
+        attempts.append(1)
+        raise urllib.error.HTTPError(
+            req.full_url, 404, "nope", hdrs=None,
+            fp=io.BytesIO(json.dumps({"error": "no such job"}).encode()))
+
+    monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+    client = ServiceClient("http://svc.test", retries=5)
+    with pytest.raises(ServiceError) as err:
+        client._get("/jobs/99")
+    assert err.value.code == 404
+    assert "no such job" in str(err.value)
+    assert len(attempts) == 1
+    assert client.retries_total == 0
+    assert not sleeps
+
+
+def test_backoff_is_capped(monkeypatch):
+    sleeps = []
+    _no_sleep(monkeypatch, sleeps)
+
+    def fake_urlopen(req, timeout=None):
+        raise urllib.error.URLError("down")
+
+    monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+    client = ServiceClient("http://svc.test", retries=6, backoff=0.1,
+                           backoff_cap=0.25)
+    with pytest.raises(urllib.error.URLError):
+        client._get("/jobs")
+    assert len(sleeps) == 6
+    assert all(s <= 0.25 for s in sleeps)
+
+
+def test_http_queue_exposes_retry_config_and_count(monkeypatch):
+    sleeps = []
+    _no_sleep(monkeypatch, sleeps)
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(1)
+        if len(calls) == 1:
+            raise urllib.error.URLError("restarting")
+        return _FakeResponse({"ok": True})
+
+    monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+    reg = MetricsRegistry()
+    queue = HttpQueue("http://svc.test", retries=2, metrics=reg)
+    assert queue.heartbeat("w0", 1, lease=5.0) is True
+    assert queue.retries_total == 1
+    assert reg.counter("svc_client_retries").value == 1.0
